@@ -1,0 +1,33 @@
+"""Shared helper for the experiment benchmarks.
+
+Every ``bench_eXX_*.py`` runs its experiment driver exactly once under
+pytest-benchmark timing (``pedantic(rounds=1)`` — the drivers are
+experiments, not micro-kernels) and then both prints the regenerated table
+and archives it under ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can
+quote the exact harness output.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+inline; without ``-s`` they are still written to the results directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments.registry import get_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_report(benchmark, experiment_id: str, **params):
+    """Run one experiment driver under benchmark timing; report its table."""
+    spec = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: spec.run(**params), rounds=1, iterations=1
+    )
+    text = result.table()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    return result

@@ -1,0 +1,18 @@
+"""E1 — convergence table (Theorem 4.1): rounds to each phase per topology."""
+
+from _harness import run_and_report
+
+from repro.graphs.predicates import PHASE_SORTED_RING  # noqa: F401  (doc anchor)
+
+
+def test_e01_convergence(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e01",
+        sizes=(16, 32, 64, 128),
+        trials=3,
+    )
+    # Shape assertions: every run stabilized (the driver raises otherwise)
+    # and phases appear in proof order.
+    for row in result.rows:
+        assert row["connect_mean"] <= row["list_mean"] <= row["ring_mean"]

@@ -1,0 +1,14 @@
+"""E2 — closure (Theorem 4.1): no phase regressions after convergence."""
+
+from _harness import run_and_report
+
+
+def test_e02_closure(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e02",
+        n=48,
+        trials=3,
+        extra_rounds=200,
+    )
+    assert all(row["regressions"] == 0 for row in result.rows)

@@ -1,0 +1,12 @@
+"""E3 — probing cost (Lemma 4.23): hops vs distance, polylog fit."""
+
+from _harness import run_and_report
+
+
+def test_e03_probing(benchmark):
+    result = run_and_report(benchmark, "e03", n=2**14, trials=4)
+    # The paper's shape: polylog must beat the power-law model, and hops
+    # must be dramatically below the ring-only distance at large d.
+    assert any("winner: polylog" in note for note in result.notes)
+    far = [r for r in result.rows if r["d_lo"] >= 500]
+    assert far and all(r["mean_hops"] < 0.2 * r["ring_only_hops"] for r in far)

@@ -1,0 +1,27 @@
+"""E4 — move-and-forget link lengths vs the 1-harmonic law (Theorem 4.22)."""
+
+from _harness import run_and_report
+
+
+def test_e04_harmonic(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e04",
+        n=2048,
+        horizons=(1_000, 10_000, 50_000),
+        samples=200,
+        sample_every=25,
+    )
+    horizon_rows = [r for r in result.rows if r["horizon"] > 0]
+    stationary = next(r for r in result.rows if r["horizon"] == -1)
+    slopes = [row["slope"] for row in horizon_rows]
+    # The measured pmf must be decreasing (negative slope) and move toward
+    # the harmonic −1 as the horizon grows.
+    assert all(s < 0 for s in slopes)
+    assert abs(slopes[-1] - (-1.0)) <= abs(slopes[0] - (-1.0)) + 0.35
+    ks = [row["ks_vs_harmonic"] for row in horizon_rows]
+    assert ks[-1] <= ks[0]
+    # The exact stationary sampler (t → ∞) sits on the harmonic slope and
+    # strictly closer (KS) than any finite horizon — the claim's endpoint.
+    assert abs(stationary["slope"] - (-1.0)) < 0.25
+    assert stationary["ks_vs_harmonic"] < min(ks)

@@ -1,0 +1,25 @@
+"""E5 — greedy routing vs baselines (Fact 4.21): who wins, by how much."""
+
+from _harness import run_and_report
+
+
+def test_e05_routing(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e05",
+        sizes=(256, 512, 1024, 2048, 4096, 8192),
+        queries=2000,
+        # Fixed process horizon: the default 30·n would spend minutes of
+        # wall clock on the largest ring for a column whose message
+        # ("between harmonic and ring, improving with age") is already
+        # visible at 50k steps.
+        process_horizon=50_000,
+    )
+    big = [r for r in result.rows if r["n"] >= 2048]
+    for row in big:
+        # Harmonic links beat uniform links beat the bare ring, and the
+        # harmonic curve tracks ln² n within a small constant factor.
+        assert row["harmonic"] < row["uniform"] < row["ring"]
+        assert row["harmonic"] < 1.5 * row["ln2_n"]
+    # The dynamic process state is strictly better than the bare ring.
+    assert all(r["process"] < r["ring"] for r in result.rows)

@@ -1,0 +1,17 @@
+"""E6 — join recovery cost (Theorem 4.24)."""
+
+from _harness import run_and_report
+
+
+def test_e06_join(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e06",
+        sizes=(64, 128, 256, 512),
+        trials=4,
+    )
+    rows = result.rows
+    # Polylog shape: recovery at the largest size must stay within a small
+    # factor of ln^{2.1} n — nowhere near linear growth.
+    assert rows[-1]["rounds_mean"] < 3.0 * rows[-1]["ln21_n"]
+    assert rows[-1]["rounds_mean"] < 0.25 * rows[-1]["n"]

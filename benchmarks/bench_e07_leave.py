@@ -1,0 +1,24 @@
+"""E7 — leave recovery cost (Theorem 4.24), interior and extremal."""
+
+from _harness import run_and_report
+
+
+def test_e07_leave(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e07",
+        sizes=(64, 128, 256, 512),
+        trials=4,
+    )
+    # The claim is about *growth*: extremal recovery hovers around a few
+    # dozen rounds at every size (≈ 2·ln^{2.1} n with high variance), so a
+    # sublinearity check at the smallest size would only measure noise.
+    for row in result.rows:
+        if row["n"] >= 128:
+            assert row["rounds_mean"] < 0.5 * row["n"]
+        assert row["rounds_mean"] < 2.5 * row["ln21_n"]
+    interior = [r for r in result.rows if r["scenario"] == "interior"]
+    assert all(r["rounds_mean"] <= 20 for r in interior)
+    # No linear blow-up: going 64 → 512 (8x) costs < 3x rounds.
+    ext = {r["n"]: r["rounds_mean"] for r in result.rows if r["scenario"] == "extremal_min"}
+    assert ext[512] < 3 * max(ext[64], 10)

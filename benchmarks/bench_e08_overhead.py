@@ -1,0 +1,20 @@
+"""E8 — stable-state maintenance traffic (§IV-F)."""
+
+from _harness import run_and_report
+
+
+def test_e08_overhead(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e08",
+        sizes=(128, 256, 512, 1024, 2048),
+        warmup_rounds=40,
+        measure_rounds=10,
+    )
+    for row in result.rows:
+        # O(1) components stay flat…
+        assert row["lin"] <= 2.5
+        assert row["lrl_maint"] <= 2.5
+        # …and total traffic per node per round stays within a polylog
+        # envelope (generously: 4 + 2 ln n).
+        assert row["total"] <= 4 + 2 * row["ln_n"]

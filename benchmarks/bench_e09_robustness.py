@@ -1,0 +1,23 @@
+"""E9 — robustness + self-healing under mass failures (§I, §IV-G)."""
+
+from _harness import run_and_report
+
+
+def test_e09_robustness(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e09",
+        n=256,
+        fractions=(0.02, 0.05, 0.1, 0.2, 0.3),
+        trials=3,
+    )
+    for row in result.rows:
+        assert row["giant_fraction_mean"] > 0.95
+        # Self-healing always completed whenever the survivors stayed
+        # weakly connected (driver raises on timeout; -1 = no connected
+        # trial at that fraction, which the table reports explicitly).
+        assert row["recovery_rounds_max"] < 30 * 256
+    # Small failure fractions must keep the survivors connected and heal.
+    low = result.rows[0]
+    assert low["survivors_connected"].startswith("3/")
+    assert low["recovery_rounds_mean"] > 0

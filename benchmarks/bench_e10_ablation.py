@@ -1,0 +1,20 @@
+"""E10 — ablation: long-range shortcut forwarding on vs off (§III-A)."""
+
+from _harness import run_and_report
+
+
+def test_e10_ablation(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e10",
+        sizes=(32, 64, 128),
+        trials=3,
+    )
+    # Both variants stabilize (driver raises otherwise).  On average the
+    # shortcut variant must not lose.
+    speedups = [row["speedup"] for row in result.rows]
+    geo_mean = 1.0
+    for s in speedups:
+        geo_mean *= s
+    geo_mean **= 1.0 / len(speedups)
+    assert geo_mean >= 0.95

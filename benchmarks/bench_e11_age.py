@@ -1,0 +1,19 @@
+"""E11 — lifetime/age distribution vs the closed-form survival law."""
+
+from _harness import run_and_report
+
+
+def test_e11_age(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e11",
+        n=1024,
+        horizon=20_000,
+        samples=50,
+        lifetime_draws=200_000,
+    )
+    for row in result.rows:
+        assert abs(row["lifetime_emp"] - row["lifetime_ref"]) < 0.01
+        # Age snapshot tracks the truncated renewal reference loosely
+        # (finite-horizon effects are expected and reported).
+        assert abs(row["age_emp"] - row["age_ref_trunc"]) < 0.2

@@ -1,0 +1,18 @@
+"""E12 — Watts–Strogatz C(p)/L(p) interpolation ([24])."""
+
+from _harness import run_and_report
+
+
+def test_e12_ws(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e12",
+        n=600,
+        k=6,
+        p_points=9,
+        trials=3,
+    )
+    assert any("small-world regime observed" in n for n in result.notes)
+    # Monotone collapse of L with p (allowing sampling noise).
+    ls = [row["L_over_L0"] for row in result.rows]
+    assert ls[-1] < 0.4 * ls[0]

@@ -1,0 +1,17 @@
+"""E13 — Kleinberg exponent sweep: the U-curve around α = 1."""
+
+from _harness import run_and_report
+
+
+def test_e13_exponent(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e13",
+        sizes=(1024, 4096, 16384),
+        queries=2000,
+    )
+    largest = "n=16384"
+    by_alpha = {row["alpha"]: row[largest] for row in result.rows}
+    # The harmonic exponent must beat both extremes, decisively.
+    assert by_alpha[1.0] < 0.8 * by_alpha[0.0]
+    assert by_alpha[1.0] < 0.5 * by_alpha[2.0]

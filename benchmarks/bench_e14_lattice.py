@@ -1,0 +1,18 @@
+"""E14 — 2-D torus navigability of the move-and-forget substrate."""
+
+from _harness import run_and_report
+
+
+def test_e14_lattice(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e14",
+        sides=(16, 32, 64),
+        queries=1500,
+    )
+    for row in result.rows:
+        assert row["harmonic2d"] < row["lattice_only"]
+        assert row["process"] <= row["lattice_only"]
+    last = result.rows[-1]
+    # 2-harmonic routing lands in the polylog regime at m=64 (n=4096).
+    assert last["harmonic2d"] < 2.0 * last["ln2_n"]

@@ -1,0 +1,18 @@
+"""E15 — the linearization potential trajectory (Lemmas 4.11–4.14)."""
+
+from _harness import run_and_report
+
+
+def test_e15_potential(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e15",
+        n=96,
+        topology="star",
+        trials=3,
+    )
+    assert f"3/3" in result.notes[0]  # potential minimum reached
+    assert f"3/3" in result.notes[1]  # and kept (closure)
+    # The trajectory ends sorted with zero total link length.
+    assert result.rows[-1]["sorted_pair_fraction"] == 1.0
+    assert result.rows[-1]["lcp_total_length"] == 0.0

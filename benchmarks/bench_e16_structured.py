@@ -1,0 +1,21 @@
+"""E16 — small-world overlay vs Chord-style structured overlay (§I)."""
+
+from _harness import run_and_report
+
+
+def test_e16_structured(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e16",
+        n=4096,
+        queries=2000,
+        fractions=(0.0, 0.05, 0.1, 0.2),
+    )
+    clean = result.rows[0]
+    # Chord: ~log n hops at log n degree.  Small-world: polylog hops at 3.
+    assert clean["chord_hops"] <= 1.2 * clean["chord_degree"]
+    assert clean["sw_hops"] > clean["chord_hops"]
+    assert clean["sw_degree"] == 3.0
+    # Degree parity restores static fault tolerance.
+    damaged = result.rows[-1]
+    assert damaged["sw_multi_success"] > 3 * max(damaged["sw_success"], 0.01)

@@ -1,0 +1,22 @@
+"""E17 — availability under sustained churn (§I's dynamical setting)."""
+
+from _harness import run_and_report
+
+
+def test_e17_sustained_churn(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e17",
+        n=128,
+        rates=(0.02, 0.05, 0.1, 0.25, 0.5, 1.0),
+        rounds=400,
+        trials=2,
+    )
+    rows = result.rows
+    # Graceful degradation: the structure quality is monotone-ish in the
+    # churn rate, and even at one join + one leave per round the overlay
+    # stays locally coherent and mostly routable.
+    assert rows[0]["ring_availability"] > rows[-1]["ring_availability"]
+    assert rows[0]["routing_success"] > 0.9
+    assert rows[-1]["pair_fraction"] > 0.5
+    assert rows[-1]["routing_success"] > 0.4

@@ -1,0 +1,24 @@
+"""E18 — total message complexity of stabilization (open question)."""
+
+from _harness import run_and_report
+
+
+def test_e18_message_complexity(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e18",
+        sizes=(32, 64, 128, 256),
+        topologies=("line", "random_tree", "star"),
+        trials=3,
+    )
+    # Benign topologies land well below quadratic; the star (hub relays
+    # nearly every identifier) may approach n^2 but not exceed it much.
+    exponents = {
+        note.split(":")[0]: float(note.split("n^")[1].split(" ")[0])
+        for note in result.notes[:-1]
+    }
+    assert 0.8 < exponents["line"] < 1.9
+    assert 0.8 < exponents["random_tree"] < 1.9
+    assert exponents["star"] < 2.5
+    # Maintenance stays O(polylog) per node per round at every size.
+    assert all(r["maint_per_node_round"] < 30 for r in result.rows)

@@ -1,0 +1,22 @@
+"""E19 — the ε trade-off (parameter study of §III-D)."""
+
+from _harness import run_and_report
+
+
+def test_e19_epsilon(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e19",
+        n=2048,
+        epsilons=(0.05, 0.1, 0.25, 0.5, 1.0),
+        horizon=30_000,
+        queries=1500,
+    )
+    rows = result.rows
+    # E[L] is monotone decreasing in epsilon; so is the stationary tail.
+    lifetimes = [r["E_lifetime"] for r in rows]
+    tails = [r["stationary_tail"] for r in rows]
+    assert all(a > b for a, b in zip(lifetimes, lifetimes[1:]))
+    assert all(a > b for a, b in zip(tails, tails[1:]))
+    # Longer-lived links route better at a fixed horizon (endpoints).
+    assert rows[0]["routing_hops"] < rows[-1]["routing_hops"]

@@ -1,0 +1,18 @@
+"""E20 — scheduler independence under adversarial fairness (§II-B)."""
+
+from _harness import run_and_report
+
+
+def test_e20_schedulers(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e20",
+        n=48,
+        topologies=("random_tree", "star"),
+        schedulers=("sync", "async", "delay", "starve"),
+        trials=3,
+    )
+    # Every scheduler stabilized (the driver raises otherwise); adversarial
+    # scheduling costs a constant factor, not convergence.
+    assert all(r["rounds_mean"] >= 1 for r in result.rows)
+    assert max(r["slowdown_vs_sync"] for r in result.rows) < 50

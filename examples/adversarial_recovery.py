@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Self-stabilization stress test: recovery from adversarial states.
+
+Demonstrates the paper's headline property — convergence from *any*
+weakly connected initial configuration — on the nastiest states the
+topology generators produce, under both the synchronous and the
+randomized asynchronous scheduler, and with a transient-fault scenario
+(a stable ring whose pointers are scrambled mid-flight).
+
+Run:  python examples/adversarial_recovery.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import AsyncScheduler, Simulator, build_network
+from repro.analysis.tables import format_rows
+from repro.graphs.predicates import (
+    PHASE_CONNECTED,
+    PHASE_SORTED_LIST,
+    PHASE_SORTED_RING,
+    is_sorted_ring,
+    phase_predicates,
+)
+from repro.topology.generators import TOPOLOGIES
+
+
+def stabilize(name: str, n: int, rng, scheduler=None) -> dict:
+    states = TOPOLOGIES[name](n, rng)
+    network = build_network(states)
+    simulator = Simulator(network, rng, scheduler=scheduler)
+    record = simulator.run_phases(
+        phase_predicates(include_phase4=False), max_rounds=300 * n
+    )
+    return {
+        "initial_state": name,
+        "scheduler": "async" if scheduler else "sync",
+        "connected@": record.round_of(PHASE_CONNECTED),
+        "sorted_list@": record.round_of(PHASE_SORTED_LIST),
+        "sorted_ring@": record.round_of(PHASE_SORTED_RING),
+        "messages": network.stats.total,
+    }
+
+
+def transient_fault_demo(n: int, rng) -> None:
+    """Scramble a *running* stable network and watch it heal."""
+    from repro.graphs.build import stable_ring_states
+    from repro.ids import generate_ids
+
+    states = stable_ring_states(n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng))
+    network = build_network(states)
+    simulator = Simulator(network, rng)
+    simulator.run(10)
+    assert is_sorted_ring(network.states())
+
+    # The adversary strikes: scramble every pointer of half the nodes —
+    # l/r to random (order-respecting) far-away nodes, lrl/ring/age to junk.
+    ids = network.ids
+    for nid in rng.choice(ids, size=len(ids) // 2, replace=False):
+        state = network.node(float(nid)).state
+        smaller = [i for i in ids if i < state.id]
+        larger = [i for i in ids if i > state.id]
+        state.corrupt(
+            l=smaller[int(rng.integers(len(smaller)))] if smaller else None,
+            r=larger[int(rng.integers(len(larger)))] if larger else None,
+            lrl=ids[int(rng.integers(len(ids)))],
+            ring=ids[int(rng.integers(len(ids)))],
+            age=int(rng.integers(0, 1000)),
+        )
+    rounds = simulator.run_until(
+        lambda net: is_sorted_ring(net.states()),
+        max_rounds=100 * n,
+        what="transient-fault recovery",
+    )
+    print(
+        f"\nTransient fault on a live network (n={n}, half the nodes "
+        f"corrupted): healed in {rounds} round(s) - the in-flight lin "
+        f"maintenance traffic from the pre-fault round re-teaches the true "
+        f"neighbors almost immediately."
+    )
+
+    # Harder variant: *every* node corrupted (so no node still points at
+    # its true neighbor) and all channels wiped (the fault also destroyed
+    # in-flight messages) — healing must re-sort the order from scratch.
+    network.flush()  # pull staged sends into channels so the wipe is total
+    for nid in network.ids:
+        network.channel(nid).clear()
+    for nid in list(network.ids):
+        state = network.node(float(nid)).state
+        ids = network.ids
+        smaller = [i for i in ids if i < state.id]
+        larger = [i for i in ids if i > state.id]
+        state.corrupt(
+            l=smaller[int(rng.integers(len(smaller)))] if smaller else None,
+            r=larger[int(rng.integers(len(larger)))] if larger else None,
+            lrl=ids[int(rng.integers(len(ids)))],
+        )
+    rounds = simulator.run_until(
+        lambda net: is_sorted_ring(net.states()),
+        max_rounds=100 * n,
+        what="transient-fault recovery (cold channels)",
+    )
+    print(
+        f"Same fault with all channels wiped as well: healed in {rounds} "
+        f"rounds (pure pointer-repair, no cached traffic)."
+    )
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    rng = np.random.default_rng(seed)
+    n = 48
+
+    rows = []
+    for name in ("line", "star", "clique", "lollipop", "corrupted_ring"):
+        rows.append(stabilize(name, n, rng))
+    rows.append(stabilize("random_tree", n, rng, scheduler=AsyncScheduler()))
+    print(
+        format_rows(
+            rows,
+            title=f"Recovery from adversarial initial states (n={n}):",
+        )
+    )
+    transient_fault_demo(n, rng)
+
+
+if __name__ == "__main__":
+    main()

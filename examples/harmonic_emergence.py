@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Watch the harmonic distribution emerge from move-and-forget.
+
+The small-world layer of the protocol is the rewiring process of
+Chaintreau, Fraigniaud and Lebhar: tokens random-walk the ring and links
+are forgotten with the age-dependent probability φ(α).  Its stationary
+link-length law is (near-)harmonic — the navigable exponent.  This example
+runs the raw process and prints an ASCII log-log view of the link-length
+pmf at increasing horizons, next to the exact harmonic reference, plus the
+fitted slopes (experiment E4 in miniature).
+
+Run:  python examples/harmonic_emergence.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.distribution import loglog_slope
+from repro.moveforget.analysis import collect_length_histogram
+from repro.moveforget.harmonic import harmonic_length_pmf
+from repro.moveforget.process import RingMoveForgetProcess
+
+
+def ascii_loglog(pmf: np.ndarray, d_max: int, width: int = 44) -> list[str]:
+    """Render pmf values at geometric distances as a bar per distance."""
+    lines = []
+    d = 1
+    floor = np.log10(max(pmf[: d_max].min(), 1e-7))
+    while d <= d_max:
+        value = pmf[d - 1]
+        bar = 0
+        if value > 0:
+            bar = int(width * (np.log10(value) - floor) / (0.0 - floor))
+        lines.append(f"  d={d:>5}  {'#' * max(bar, 1)}  {value:.2e}")
+        d *= 4
+    return lines
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    rng = np.random.default_rng(seed)
+    d_max = n // 8
+
+    reference = harmonic_length_pmf(n)
+    ref_slope, _ = loglog_slope(reference, d_min=2, d_max=d_max)
+    print(f"harmonic reference (slope {ref_slope:.2f}):")
+    print("\n".join(ascii_loglog(reference, d_max)))
+
+    horizon = 0
+    process = RingMoveForgetProcess(n, rng=rng)
+    for target in (1_000, 10_000, 50_000):
+        hist = collect_length_histogram(
+            process, warmup=target - horizon, samples=150, sample_every=10
+        )
+        horizon = target + 150 * 10
+        pmf = hist.pmf(drop_home=True)
+        slope, r2 = loglog_slope(pmf, d_min=2, d_max=d_max)
+        print(
+            f"\nafter ~{target} steps (fitted slope {slope:.2f}, "
+            f"R^2={r2:.2f}, tokens at home: {hist.home_fraction:.0%}):"
+        )
+        print("\n".join(ascii_loglog(pmf, d_max)))
+
+    print(
+        "\nThe body of the distribution steepens toward the harmonic "
+        "slope -1 as token ages accumulate (heavy-tailed lifetimes mix "
+        "slowly; experiment E4 quantifies this)."
+    )
+
+
+if __name__ == "__main__":
+    main()

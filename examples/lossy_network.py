@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Beyond the model: where message loss is survivable — and where it is not.
+
+The paper assumes lossless channels.  This example shows both sides of
+what that assumption buys:
+
+* the regular action re-advertises all *stored* links every round, so
+  moderate loss rates only slow convergence down;
+* but connectivity preservation during linearization hands identifiers
+  over *inside single messages* (a displaced neighbor, a re-injected
+  forgotten endpoint).  Lose that one message and the identifier is gone —
+  at high loss rates the network demonstrably splits into components that
+  can never find each other again.
+
+The sweep reports, per loss rate, whether the run converged, how long it
+took, and — when it did not — how the network ended up partitioned.
+
+Run:  python examples/lossy_network.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.tables import format_rows
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.graphs.predicates import is_sorted_ring
+from repro.graphs.views import cc_graph
+from repro.sim.engine import Simulator, StabilizationTimeout
+from repro.sim.faults import LossyNetwork
+from repro.topology.generators import random_tree_topology
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    rows = []
+    for loss in (0.0, 0.1, 0.2, 0.3, 0.5):
+        rng = np.random.default_rng(seed)
+        states = random_tree_topology(n, rng)
+        config = ProtocolConfig()
+        network = LossyNetwork(
+            (Node(s, config) for s in states), loss_rate=loss, rng=rng
+        )
+        simulator = Simulator(network, rng)
+        try:
+            rounds = simulator.run_until(
+                lambda net: is_sorted_ring(net.states()),
+                max_rounds=8_000,
+                what=f"loss={loss}",
+            )
+            outcome = "converged"
+        except StabilizationTimeout:
+            rounds = simulator.round_index
+            components = nx.number_weakly_connected_components(
+                cc_graph(network, live_only=True)
+            )
+            outcome = (
+                f"SPLIT into {components} components"
+                if components > 1
+                else "still converging"
+            )
+        rows.append(
+            {
+                "loss_rate": loss,
+                "outcome": outcome,
+                "rounds": rounds,
+                "messages_lost": network.lost,
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            title=f"Message loss sweep (n={n}, same initial state each row):",
+        )
+    )
+    print(
+        "\nModerate loss only slows stabilization; at high rates a "
+        "displaced identifier's only copy eventually rides a lost message "
+        "and the network partitions permanently - the lossless channel is "
+        "a load-bearing model assumption, not a convenience."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: self-stabilize a scrambled overlay into a small-world ring.
+
+Builds a 64-node network whose initial topology is a random tree with
+identifiers assigned adversarially (structure and identifier order are
+uncorrelated), runs the paper's protocol, and reports the round at which
+each phase of the analysis (Theorem 4.1) first held — then shows that
+greedy routing on the stabilized overlay takes ~ln² n hops.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    Simulator,
+    build_network,
+    phase_predicates,
+    random_tree_topology,
+)
+from repro.analysis.tables import format_rows
+from repro.routing.greedy import greedy_route_states
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    rng = np.random.default_rng(seed)
+    n = 64
+
+    print(f"Building an adversarial initial overlay: n={n}, seed={seed}")
+    states = random_tree_topology(n, rng)
+    network = build_network(states)
+    simulator = Simulator(network, rng)
+
+    print("Running the self-stabilizing small-world protocol…")
+    record = simulator.run_phases(phase_predicates(), max_rounds=200 * n)
+    rows = [
+        {"phase": name, "first_round": round_index}
+        for name, round_index in sorted(
+            record.first_round.items(), key=lambda kv: kv[1]
+        )
+    ]
+    print(format_rows(rows, title="\nPhase convergence (Theorem 4.1):"))
+    print(f"\nmessages sent in total: {network.stats.total}")
+
+    # Let the move-and-forget layer churn a little, then route greedily.
+    simulator.run(50)
+    ids = network.ids
+    queries = 200
+    src = [ids[int(i)] for i in rng.integers(0, n, queries)]
+    dst = [ids[int(i)] for i in rng.integers(0, n, queries)]
+    hops = greedy_route_states(network.states(), src, dst)
+    print(
+        f"greedy routing over {queries} random pairs: "
+        f"mean {hops.mean():.1f} hops "
+        f"(ring-only would be ~{n / 4:.0f}; ln^2 n = {np.log(n) ** 2:.1f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

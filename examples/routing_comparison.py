@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Why the *harmonic* distribution matters: a routing shoot-out.
+
+Kleinberg's insight (the paper's Fact 4.21): long-range links make greedy
+routing fast only when their length distribution is harmonic — uniform
+random chords give a small diameter but greedy routing cannot exploit
+them.  The move-and-forget process is valuable precisely because its
+stationary law is (near-)harmonic.
+
+This example routes the same query workload over four 1-D overlays:
+
+* the bare sorted ring                      (Θ(n) hops),
+* uniform random long-range links           (polynomial hops),
+* harmonic long-range links (Kleinberg)     (≈ ln² n hops),
+* the links an actual move-and-forget run
+  produced after 30·n steps                 (between ring and harmonic,
+                                             improving with age).
+
+Run:  python examples/routing_comparison.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.kleinberg import kleinberg_lrl_ranks
+from repro.baselines.random_links import uniform_lrl_ranks
+from repro.moveforget.process import RingMoveForgetProcess
+from repro.routing.greedy import greedy_route_hops
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    rng = np.random.default_rng(seed)
+    queries = 3000
+
+    src = rng.integers(0, n, queries)
+    dst = rng.integers(0, n, queries)
+
+    print(f"n={n}, {queries} random queries, ln^2 n = {np.log(n) ** 2:.1f}\n")
+
+    process = RingMoveForgetProcess(n, rng=rng)
+    process.run(30 * n)
+
+    configs = [
+        ("sorted ring only", None),
+        ("uniform random links", uniform_lrl_ranks(n, rng)),
+        ("harmonic links (Kleinberg)", kleinberg_lrl_ranks(n, rng)),
+        (f"move-and-forget after {30 * n} steps", process.lrl_ranks()),
+    ]
+    rows = []
+    for label, lrl in configs:
+        hops = greedy_route_hops(n, lrl, src, dst)
+        rows.append(
+            [
+                label,
+                round(float(hops.mean()), 1),
+                int(np.percentile(hops, 95)),
+                int(hops.max()),
+            ]
+        )
+    print(
+        format_table(
+            ["overlay", "mean hops", "p95", "max"],
+            rows,
+            title="Greedy routing comparison (experiment E5's story):",
+        )
+    )
+    print(
+        "\nTakeaway: harmonic links route in ~ln^2 n; uniform links do not "
+        "(navigability needs the right exponent, not just shortcuts)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (`pip install -e .`) cannot build the editable wheel.
+`python setup.py develop` installs the same editable package without wheel.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

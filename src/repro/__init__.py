@@ -1,0 +1,83 @@
+"""repro — a reproduction of *A Self-Stabilization Process for Small-World
+Networks* (Kniesburges, Koutsopoulos, Scheideler, IPDPS Workshops 2012).
+
+The package implements the paper's distributed self-stabilizing protocol
+that converges from any weakly connected initial state to a sorted ring
+augmented with move-and-forget long-range links — a 1-dimensional
+small-world network with polylogarithmic greedy routing.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        ProtocolConfig, build_network, Simulator,
+        random_tree_topology, phase_predicates,
+    )
+
+    rng = np.random.default_rng(7)
+    states = random_tree_topology(64, rng)
+    net = build_network(states)
+    sim = Simulator(net, rng)
+    phases = sim.run_phases(phase_predicates(), max_rounds=2000)
+    print(phases.first_round)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+from repro.core import (
+    Message,
+    MessageType,
+    Node,
+    NodeState,
+    ProtocolConfig,
+)
+from repro.core.protocol import build_network
+from repro.graphs import (
+    is_sorted_list,
+    is_sorted_ring,
+    phase_predicates,
+    stable_ring_states,
+)
+from repro.ids import NEG_INF, POS_INF
+from repro.sim import AsyncScheduler, Network, Simulator, SynchronousScheduler
+from repro.topology import (
+    TOPOLOGIES,
+    clique_topology,
+    corrupted_ring_topology,
+    gnp_topology,
+    line_topology,
+    lollipop_topology,
+    random_tree_topology,
+    star_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncScheduler",
+    "Message",
+    "MessageType",
+    "NEG_INF",
+    "Network",
+    "Node",
+    "NodeState",
+    "POS_INF",
+    "ProtocolConfig",
+    "Simulator",
+    "SynchronousScheduler",
+    "TOPOLOGIES",
+    "build_network",
+    "clique_topology",
+    "corrupted_ring_topology",
+    "gnp_topology",
+    "is_sorted_list",
+    "is_sorted_ring",
+    "line_topology",
+    "lollipop_topology",
+    "phase_predicates",
+    "random_tree_topology",
+    "stable_ring_states",
+    "star_topology",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Measurement and statistics toolkit for the experiments.
+
+* :mod:`repro.analysis.smallworld` — clustering coefficient, characteristic
+  path length, degree stats, small-world index of overlay graphs.
+* :mod:`repro.analysis.distribution` — empirical pmf utilities, log-log
+  slope fits, KS distance (E4's harmonic-fit machinery).
+* :mod:`repro.analysis.scaling` — polylogarithmic and power-law scaling
+  fits with goodness-of-fit comparison (E3/E5/E6/E7's shape checks).
+* :mod:`repro.analysis.stats` — summary statistics with confidence
+  intervals.
+* :mod:`repro.analysis.tables` — ASCII tables for the benchmark harness.
+"""
+
+from repro.analysis.distribution import (
+    empirical_pmf,
+    ks_distance,
+    loglog_slope,
+)
+from repro.analysis.scaling import fit_polylog, fit_power, compare_scaling
+from repro.analysis.smallworld import overlay_graph, smallworld_metrics
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "compare_scaling",
+    "empirical_pmf",
+    "fit_polylog",
+    "fit_power",
+    "format_table",
+    "ks_distance",
+    "loglog_slope",
+    "overlay_graph",
+    "smallworld_metrics",
+    "summarize",
+]

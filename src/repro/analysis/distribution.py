@@ -1,0 +1,95 @@
+"""Empirical-distribution utilities (experiment E4's fit machinery).
+
+The harmonic law ``Pr[len = d] ∝ 1/d`` appears as a straight line of slope
+−1 on log-log axes.  :func:`loglog_slope` fits that slope over a chosen
+distance range with logarithmic binning (unbinned log-log regression
+over-weights the noisy tail, a classic power-law-fitting pitfall);
+:func:`ks_distance` gives a scale-free distance between a measured pmf and
+a reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_pmf", "loglog_slope", "ks_distance", "geometric_bins"]
+
+
+def empirical_pmf(samples: np.ndarray, support: int) -> np.ndarray:
+    """Empirical pmf of integer *samples* over ``1..support``.
+
+    Values outside the support raise — they indicate a bug in the caller,
+    not data to silently drop.
+    """
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    if samples.min() < 1 or samples.max() > support:
+        raise ValueError(
+            f"samples outside support [1, {support}]: "
+            f"range [{samples.min()}, {samples.max()}]"
+        )
+    counts = np.bincount(samples, minlength=support + 1)[1:]
+    return counts / counts.sum()
+
+
+def geometric_bins(lo: int, hi: int, *, ratio: float = 1.6) -> np.ndarray:
+    """Geometric integer bin edges covering ``[lo, hi]`` (inclusive)."""
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    edges = [lo]
+    x = float(lo)
+    while edges[-1] < hi + 1:
+        x = max(x * ratio, edges[-1] + 1)
+        edges.append(min(int(round(x)), hi + 1))
+    return np.array(edges, dtype=np.int64)
+
+
+def loglog_slope(
+    pmf: np.ndarray,
+    *,
+    d_min: int = 1,
+    d_max: int | None = None,
+    ratio: float = 1.6,
+) -> tuple[float, float]:
+    """Fit ``log(pmf) = a + slope · log(d)`` over ``[d_min, d_max]``.
+
+    The pmf (indexed from distance 1 at position 0) is aggregated into
+    geometric bins first; each bin contributes one point at its geometric
+    midpoint with its *average* probability mass per integer distance.
+    Returns ``(slope, r_squared)``.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    support = pmf.size
+    if d_max is None:
+        d_max = support
+    if not (1 <= d_min < d_max <= support):
+        raise ValueError(f"need 1 <= d_min < d_max <= {support}")
+    edges = geometric_bins(d_min, d_max, ratio=ratio)
+    xs, ys = [], []
+    for lo, hi in zip(edges, edges[1:]):
+        mass = pmf[lo - 1 : hi - 1].sum()
+        width = hi - lo
+        if mass <= 0 or width <= 0:
+            continue
+        xs.append(np.sqrt(lo * (hi - 1)))  # geometric midpoint
+        ys.append(mass / width)
+    if len(xs) < 3:
+        raise ValueError("not enough non-empty bins for a slope fit")
+    lx = np.log(np.array(xs))
+    ly = np.log(np.array(ys))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(((ly - pred) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(r2)
+
+
+def ks_distance(pmf_a: np.ndarray, pmf_b: np.ndarray) -> float:
+    """Kolmogorov–Smirnov distance between two pmfs on the same support."""
+    pmf_a = np.asarray(pmf_a, dtype=np.float64)
+    pmf_b = np.asarray(pmf_b, dtype=np.float64)
+    if pmf_a.shape != pmf_b.shape:
+        raise ValueError("pmfs must share a support")
+    return float(np.max(np.abs(np.cumsum(pmf_a) - np.cumsum(pmf_b))))

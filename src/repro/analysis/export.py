@@ -1,0 +1,71 @@
+"""Result export: JSON and CSV serialization of experiment results.
+
+Downstream users plotting the reproduced tables shouldn't have to parse
+ASCII; every :class:`~repro.experiments.common.ExperimentResult` can be
+exported losslessly to JSON (rows + params + notes) or to CSV (rows only).
+The CLI exposes this via ``repro run e05 out=e05.json``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.common import ExperimentResult
+
+__all__ = ["result_to_json", "result_to_csv", "write_result"]
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_json(result: "ExperimentResult", *, indent: int = 2) -> str:
+    """Serialize the full result (metadata + rows + notes) as JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "claim": result.claim,
+        "params": _jsonable(result.params),
+        "rows": _jsonable(result.rows),
+        "notes": list(result.notes),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """Serialize the rows as CSV (columns from the union of row keys)."""
+    if not result.rows:
+        return ""
+    columns: list[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({k: row.get(k, "") for k in columns})
+    return buffer.getvalue()
+
+
+def write_result(result: "ExperimentResult", path: str) -> None:
+    """Write the result to *path*; format chosen by extension (.json/.csv)."""
+    if path.endswith(".json"):
+        text = result_to_json(result)
+    elif path.endswith(".csv"):
+        text = result_to_csv(result)
+    else:
+        raise ValueError(f"unsupported export extension in {path!r} (.json/.csv)")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,88 @@
+"""Scaling-law fits: is a measured curve polylogarithmic or polynomial?
+
+The paper's efficiency claims are all of the form ``cost = O(ln^{2+ε} x)``.
+Given measured ``(x, cost)`` points we fit both
+
+* the polylog model ``cost = a · (ln x)^b`` — linear in
+  ``log cost = log a + b · log ln x``; and
+* the power model ``cost = a · x^b`` — linear in
+  ``log cost = log a + b · log x``;
+
+and report which fits better.  A clean reproduction of, e.g., Lemma 4.23
+shows the polylog model winning with exponent ``b ≈ 2 + ε``, while the
+ring-only baseline shows the power model winning with ``b ≈ 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScalingFit", "fit_polylog", "fit_power", "compare_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of a two-parameter scaling fit ``cost = a · f(x)^b``."""
+
+    model: str
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Model prediction at the given x values."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.model == "polylog":
+            return self.a * np.log(x) ** self.b
+        if self.model == "power":
+            return self.a * x**self.b
+        raise ValueError(f"unknown model {self.model!r}")  # pragma: no cover
+
+
+def _linfit(fx: np.ndarray, fy: np.ndarray) -> tuple[float, float, float]:
+    slope, intercept = np.polyfit(fx, fy, 1)
+    pred = slope * fx + intercept
+    ss_res = float(((fy - pred) ** 2).sum())
+    ss_tot = float(((fy - fy.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2
+
+
+def _validate(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    if x.size < 3:
+        raise ValueError("need at least 3 points to fit a scaling law")
+    if np.any(x <= 1.0) or np.any(y <= 0.0):
+        raise ValueError("x must exceed 1 and y must be positive")
+    return x, y
+
+
+def fit_polylog(x: np.ndarray, y: np.ndarray) -> ScalingFit:
+    """Least-squares fit of ``y = a · (ln x)^b``."""
+    x, y = _validate(x, y)
+    b, log_a, r2 = _linfit(np.log(np.log(x)), np.log(y))
+    return ScalingFit("polylog", float(np.exp(log_a)), b, r2)
+
+
+def fit_power(x: np.ndarray, y: np.ndarray) -> ScalingFit:
+    """Least-squares fit of ``y = a · x^b``."""
+    x, y = _validate(x, y)
+    b, log_a, r2 = _linfit(np.log(x), np.log(y))
+    return ScalingFit("power", float(np.exp(log_a)), b, r2)
+
+
+def compare_scaling(x: np.ndarray, y: np.ndarray) -> dict[str, object]:
+    """Fit both models; report the winner and both fits.
+
+    The returned dict has keys ``polylog``, ``power`` (the fits) and
+    ``winner`` (the model name with the higher R² in log space).
+    """
+    poly = fit_polylog(x, y)
+    power = fit_power(x, y)
+    winner = "polylog" if poly.r_squared >= power.r_squared else "power"
+    return {"polylog": poly, "power": power, "winner": winner}

@@ -1,0 +1,33 @@
+"""Summary statistics with confidence intervals.
+
+Every experiment reports trial-aggregated rows; this module keeps the
+aggregation in one place (mean, standard error, normal-approximation 95%
+CI, percentiles) so tables across experiments read identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["summarize"]
+
+
+def summarize(values: np.ndarray) -> dict[str, float]:
+    """Mean / std / sem / 95% CI half-width / median / p95 / min / max."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no values to summarize")
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    sem = std / np.sqrt(values.size) if values.size > 1 else 0.0
+    return {
+        "count": float(values.size),
+        "mean": mean,
+        "std": std,
+        "sem": float(sem),
+        "ci95": float(1.96 * sem),
+        "median": float(np.median(values)),
+        "p95": float(np.percentile(values, 95)),
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }

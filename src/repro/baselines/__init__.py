@@ -1,0 +1,47 @@
+"""Baseline constructions the paper compares against or builds upon.
+
+* :mod:`repro.baselines.kleinberg` — the static 1-D Kleinberg harmonic
+  network [14]: what the protocol converges *to*, built directly.
+* :mod:`repro.baselines.random_links` — uniformly random long-range links:
+  small diameter but **not** navigable by greedy routing (Kleinberg's
+  negative result), the control for E5.
+* :mod:`repro.baselines.ring_only` — the bare sorted ring (Θ(n) routing).
+* :mod:`repro.baselines.watts_strogatz` — the Watts–Strogatz small-world
+  model [24]: our own implementation plus the classic C(p)/L(p) curves
+  (experiment E12), validating the "small-world" terminology the paper
+  inherits.
+* :mod:`repro.baselines.linearization_only` — the protocol with the
+  long-range shortcut branches disabled (experiment E10's ablation).
+* :mod:`repro.baselines.onus_linearization` — standalone graph
+  linearization per Onus, Richa, Scheideler [19], the paper's foundation,
+  with unbounded neighbor sets.
+* :mod:`repro.baselines.exponent` — the power-law link family
+  ``Pr ∝ dist^{-α}`` for the Kleinberg exponent sweep (E13).
+* :mod:`repro.baselines.chord_like` — a Chord-style structured overlay
+  (static finger tables) for §I's comparison (E16).
+"""
+
+from repro.baselines.chord_like import chord_fingers, chord_route_hops
+from repro.baselines.exponent import power_law_lrl_ranks, power_law_offset_pmf
+from repro.baselines.kleinberg import kleinberg_lrl_ranks, kleinberg_states
+from repro.baselines.linearization_only import linearization_only_config
+from repro.baselines.onus_linearization import OnusNetwork, OnusNode
+from repro.baselines.random_links import uniform_lrl_ranks
+from repro.baselines.ring_only import ring_route_hops
+from repro.baselines.watts_strogatz import watts_strogatz_graph, ws_curves
+
+__all__ = [
+    "OnusNetwork",
+    "OnusNode",
+    "chord_fingers",
+    "chord_route_hops",
+    "kleinberg_lrl_ranks",
+    "kleinberg_states",
+    "linearization_only_config",
+    "power_law_lrl_ranks",
+    "power_law_offset_pmf",
+    "ring_route_hops",
+    "uniform_lrl_ranks",
+    "watts_strogatz_graph",
+    "ws_curves",
+]

@@ -1,0 +1,41 @@
+"""Power-law long-range links with a tunable clustering exponent α.
+
+Kleinberg's theorem [14] — the foundation of the paper's Fact 4.21 — says
+more than "harmonic works": among the whole family of link distributions
+``Pr[offset = o] ∝ dist(o)^{-α}``, greedy routing is polylogarithmic
+*only* at α = k (= 1 on the ring); every other exponent is polynomially
+slow.  Sampling this family lets experiment E13 regenerate the classic
+U-shaped "routing time vs exponent" curve, pinning the move-and-forget
+process's target distribution as the unique navigable one.
+
+α = 0 recovers the uniform baseline; α = 1 the harmonic one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["power_law_offset_pmf", "power_law_lrl_ranks"]
+
+
+def power_law_offset_pmf(n: int, alpha: float) -> np.ndarray:
+    """Pmf over offsets ``1..n−1`` with weight ``min(o, n−o)^{-α}``."""
+    if n < 2:
+        raise ValueError("the ring must have at least 2 nodes")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    o = np.arange(1, n)
+    d = np.minimum(o, n - o).astype(np.float64)
+    w = d**-alpha
+    return w / w.sum()
+
+
+def power_law_lrl_ranks(
+    n: int, alpha: float, rng: np.random.Generator
+) -> np.ndarray:
+    """One long-range link per node with exponent-α lengths."""
+    pmf = power_law_offset_pmf(n, alpha)
+    cdf = np.cumsum(pmf)
+    cdf[-1] = 1.0
+    offsets = np.searchsorted(cdf, rng.random(n), side="right") + 1
+    return (np.arange(n, dtype=np.int64) + offsets) % n

@@ -1,0 +1,41 @@
+"""Kleinberg's static 1-dimensional harmonic small-world network [14].
+
+Kleinberg showed that a k-dimensional lattice augmented with one long-range
+link per node, drawn with probability proportional to ``dist^{-k}``, is the
+unique exponent family for which *greedy* routing runs in polylogarithmic
+expected time.  The paper's protocol converges to exactly this construction
+for k = 1 (Fact 4.21); building it directly gives experiments E3/E5 their
+"ideal end state" reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import NodeState
+from repro.graphs.build import stable_ring_states
+from repro.moveforget.harmonic import sample_harmonic_offsets
+
+__all__ = ["kleinberg_lrl_ranks", "kleinberg_states"]
+
+
+def kleinberg_lrl_ranks(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Long-range-link target ranks sampled from the harmonic distribution.
+
+    Node ``i``'s link lands on ``(i + o) mod n`` with offset ``o`` drawn
+    from the 1-harmonic law ``Pr[o] ∝ 1/min(o, n−o)``.
+    """
+    offsets = sample_harmonic_offsets(n, n, rng)
+    return (np.arange(n, dtype=np.int64) + offsets) % n
+
+
+def kleinberg_states(
+    n: int, rng: np.random.Generator, *, ids: list[float] | None = None
+) -> list[NodeState]:
+    """A full protocol-state network in the Kleinberg configuration.
+
+    Identical to :func:`repro.graphs.build.stable_ring_states` with
+    ``lrl="harmonic"`` — provided under this name so experiment code reads
+    as comparing named constructions.
+    """
+    return stable_ring_states(n, lrl="harmonic", rng=rng, ids=ids)

@@ -1,0 +1,27 @@
+"""Plain linearization: the protocol without long-range shortcuts.
+
+The paper extends the classic linearization process of Onus, Richa,
+Scheideler [19] "by using the long-range links as shortcuts when forwarding
+m.id if m.id > p.lrl > p.r".  This module configures the protocol with that
+extension switched off — Algorithm 2's shortcut branch, and the lrl hops in
+the probing forwarders (Algorithms 5/6), are disabled, while everything
+else (ring formation, probing via list edges, move-and-forget itself) runs
+unchanged.
+
+Experiment E10 measures what the shortcuts buy: rounds and messages to
+stabilization with and without them, over the same initial configurations
+and seeds.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import ProtocolConfig
+
+__all__ = ["linearization_only_config"]
+
+
+def linearization_only_config(**overrides: object) -> ProtocolConfig:
+    """A :class:`ProtocolConfig` with the long-range shortcuts disabled."""
+    params: dict[str, object] = {"lrl_shortcuts": False}
+    params.update(overrides)
+    return ProtocolConfig(**params)  # type: ignore[arg-type]

@@ -1,0 +1,158 @@
+"""Standalone graph linearization (Onus, Richa, Scheideler [19]).
+
+The paper's own foundation: "our self-stabilization process has also as
+its basis a variance of the linearization technique" of [19], which sorts
+an arbitrary connected graph into a list.  This module implements the
+classic *neighborhood-splitting* linearization as an independent baseline
+— no ring edges, no probing, no long-range links, and (unlike the paper's
+protocol) **unbounded neighbor sets**:
+
+* every node keeps a set of smaller and a set of larger neighbors;
+* each round it sorts its whole neighborhood and, for every consecutive
+  pair ``(a, b)`` in it, tells ``a`` about ``b`` (the "split" move that
+  replaces a long edge by two shorter ones);
+* it keeps only its closest neighbor on each side as *stable* links but
+  retains the rest until they are forwarded — identifiers are never
+  dropped, so weak connectivity is preserved by construction.
+
+The fixed point is the sorted list.  Comparing against the paper's
+protocol (experiment-level comparison in the tests) shows what the paper
+*added*: constant out-degree state, the ring closure, probing-based
+self-verification, and the small-world layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.ids import require_id
+
+__all__ = ["OnusNode", "OnusNetwork"]
+
+
+class OnusNode:
+    """One node of the standalone linearization process."""
+
+    __slots__ = ("id", "neighbors")
+
+    def __init__(self, node_id: float, neighbors: Iterable[float] = ()) -> None:
+        self.id = require_id(node_id, what="node id")
+        self.neighbors: set[float] = set()
+        for v in neighbors:
+            self.add(v)
+
+    def add(self, other: float) -> None:
+        """Learn about *other* (no-op for our own identifier)."""
+        if other != self.id:
+            self.neighbors.add(require_id(other, what="neighbor"))
+
+    @property
+    def left(self) -> float | None:
+        """Closest smaller neighbor, or ``None``."""
+        smaller = [v for v in self.neighbors if v < self.id]
+        return max(smaller) if smaller else None
+
+    @property
+    def right(self) -> float | None:
+        """Closest larger neighbor, or ``None``."""
+        larger = [v for v in self.neighbors if v > self.id]
+        return min(larger) if larger else None
+
+    def split_moves(self) -> list[tuple[float, float]]:
+        """The round's linearization moves: ``(recipient, payload)`` pairs.
+
+        The sorted neighborhood ``u₁ < … < v(self) < … < u_k`` is split
+        into consecutive pairs; each pair's smaller endpoint learns the
+        larger one.  After the moves, only the two closest neighbors need
+        staying power — everything else has been delegated.
+        """
+        ordered = sorted(self.neighbors | {self.id})
+        moves: list[tuple[float, float]] = []
+        for a, b in zip(ordered, ordered[1:]):
+            if a == self.id or b == self.id:
+                continue  # the closest pair on each side stays ours
+            moves.append((a, b))
+        return moves
+
+    def compact(self) -> None:
+        """Drop every neighbor that was delegated by :meth:`split_moves`.
+
+        Call only after the moves were *delivered* (the network does), so
+        no identifier is ever lost.
+        """
+        keep = {v for v in (self.left, self.right) if v is not None}
+        self.neighbors = keep
+
+
+class OnusNetwork:
+    """Synchronous driver for a set of :class:`OnusNode`.
+
+    One round = every node (in random order) performs its split moves;
+    deliveries are immediate (the classic shared-memory formulation of
+    [19]); compaction follows delivery, so connectivity is invariant.
+    """
+
+    def __init__(self, nodes: Iterable[OnusNode]) -> None:
+        self.nodes: dict[float, OnusNode] = {}
+        for node in nodes:
+            if node.id in self.nodes:
+                raise ValueError(f"duplicate node id {node.id!r}")
+            self.nodes[node.id] = node
+        self.rounds = 0
+        self.messages = 0
+
+    @classmethod
+    def from_edges(
+        cls, ids: Iterable[float], edges: Iterable[tuple[float, float]]
+    ) -> "OnusNetwork":
+        """Build a network from an explicit undirected edge list."""
+        nodes = {i: OnusNode(i) for i in ids}
+        for u, v in edges:
+            nodes[u].add(v)
+            nodes[v].add(u)
+        return cls(nodes.values())
+
+    def step(self, rng: np.random.Generator) -> int:
+        """One synchronous round; returns the number of moves performed."""
+        order = list(self.nodes)
+        rng.shuffle(order)
+        moved = 0
+        for nid in order:
+            node = self.nodes[nid]
+            moves = node.split_moves()
+            for recipient, payload in moves:
+                self.nodes[recipient].add(payload)
+                moved += 1
+            node.compact()
+            # [19] linearizes an *undirected* graph; in the directed
+            # message-passing realization each node must advertise itself
+            # to its kept neighbors or the reverse links never form (the
+            # same role Algorithm 9's sendid plays in the paper).
+            for kept in (node.left, node.right):
+                if kept is not None and nid not in self.nodes[kept].neighbors:
+                    self.nodes[kept].add(nid)
+                    moved += 1
+        self.rounds += 1
+        self.messages += moved
+        return moved
+
+    def is_sorted_list(self) -> bool:
+        """Whether the stable links form the sorted list (Definition 4.8)."""
+        ordered = sorted(self.nodes)
+        for a, b in zip(ordered, ordered[1:]):
+            if self.nodes[a].right != b or self.nodes[b].left != a:
+                return False
+        # No stray extra neighbors may remain.
+        return all(len(self.nodes[v].neighbors) <= 2 for v in ordered)
+
+    def run_until_sorted(
+        self, rng: np.random.Generator, *, max_rounds: int
+    ) -> int:
+        """Run until sorted; returns rounds taken (raises on timeout)."""
+        for r in range(max_rounds + 1):
+            if self.is_sorted_list():
+                return r
+            self.step(rng)
+        raise RuntimeError(f"not sorted within {max_rounds} rounds")

@@ -1,0 +1,31 @@
+"""Uniformly random long-range links — the non-navigable control.
+
+A ring with uniformly random chords is a classic small-*diameter* network
+(O(log n) paths exist), but Kleinberg's lower bound shows greedy routing
+cannot find them: with exponent 0 instead of the harmonic exponent 1,
+greedy needs ``Ω(n^{2/3})`` expected hops in one dimension.  Experiment E5
+uses this to show that *which* distribution the move-and-forget process
+converges to is what buys navigability — not merely having long links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_lrl_ranks"]
+
+
+def uniform_lrl_ranks(
+    n: int, rng: np.random.Generator, *, allow_self: bool = False
+) -> np.ndarray:
+    """One uniformly random long-range target rank per node.
+
+    With ``allow_self=False`` (default) each node's link avoids itself by
+    drawing a uniform non-zero offset.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if allow_self:
+        return rng.integers(0, n, size=n, dtype=np.int64)
+    offsets = rng.integers(1, n, size=n, dtype=np.int64)
+    return (np.arange(n, dtype=np.int64) + offsets) % n

@@ -1,0 +1,22 @@
+"""The bare sorted ring — the no-shortcut baseline.
+
+Greedy routing on the ring alone takes exactly the ring distance
+(``Θ(n)`` hops on average for random pairs).  Trivial, but it anchors the
+E5 comparison: every improvement over this line is attributable to the
+long-range links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.greedy import greedy_route_hops
+
+__all__ = ["ring_route_hops"]
+
+
+def ring_route_hops(
+    n: int, sources: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Hop counts of ring-only greedy routing (= ring distances)."""
+    return greedy_route_hops(n, None, sources, targets)

@@ -1,0 +1,28 @@
+"""Topology updates: joining and leaving nodes (paper §IV-G).
+
+* :mod:`repro.churn.join` — connect a fresh node to an arbitrary contact
+  and let linearization place it.
+* :mod:`repro.churn.leave` — remove a node; references to it vanish (the
+  paper's "the connections it had to and from other nodes also disappear").
+* :mod:`repro.churn.experiments` — recovery-cost measurement: rounds and
+  net extra messages until the sorted-ring invariant holds again
+  (Theorem 4.24's ``O(ln^{2+ε} n)`` claims, experiments E6/E7).
+"""
+
+from repro.churn.experiments import (
+    RecoveryResult,
+    join_recovery_trial,
+    leave_recovery_trial,
+    measure_recovery,
+)
+from repro.churn.join import join_node
+from repro.churn.leave import leave_node
+
+__all__ = [
+    "RecoveryResult",
+    "join_node",
+    "join_recovery_trial",
+    "leave_node",
+    "leave_recovery_trial",
+    "measure_recovery",
+]

@@ -1,0 +1,55 @@
+"""Node join (paper §IV-G).
+
+"When a node joins the network, it is initially connected with an arbitrary
+node and it is placed to its stable position (i.e. in between its
+legitimate left and right neighbors) by the process of linearization."
+
+The new node stores its contact in the directionally correct neighbor slot
+(``l`` if the contact is smaller, ``r`` otherwise); from there the ordinary
+protocol takes over.  Theorem 4.24 bounds the integration cost by
+``O(ln^{2+ε} n)`` steps via the reduction of join propagation to a probing
+path.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.ids import require_id
+from repro.sim.network import Network
+
+__all__ = ["join_node"]
+
+
+def join_node(
+    network: Network,
+    new_id: float,
+    contact_id: float,
+    config: ProtocolConfig | None = None,
+) -> Node:
+    """Add a fresh node knowing only *contact_id*; return the new node.
+
+    Raises
+    ------
+    ValueError
+        If *new_id* already exists, equals the contact, or the contact is
+        not a current member.
+    """
+    require_id(new_id, what="joining id")
+    if new_id in network:
+        raise ValueError(f"id {new_id!r} already in the network")
+    if contact_id not in network:
+        raise ValueError(f"contact {contact_id!r} not in the network")
+    if contact_id == new_id:
+        raise ValueError("a node cannot join via itself")
+
+    state = NodeState(id=new_id)
+    if contact_id < new_id:
+        state.corrupt(l=contact_id)
+    else:
+        state.corrupt(r=contact_id)
+    cfg = config if config is not None else network.node(contact_id).config
+    node = Node(state, cfg)
+    network.add_node(node)
+    return node

@@ -1,0 +1,40 @@
+"""Node departure (paper §IV-G).
+
+"When a node u leaves the network, it disappears from it and the
+connections it had to and from other nodes also disappear.  As a
+consequence, two nodes (formerly u.l and u.r) have no right and left
+neighbors respectively."
+
+Accordingly, :func:`leave_node` removes the node *and* purges every stored
+reference to it: dangling ``l``/``r`` become sentinels, dangling rings
+become unset, and a dangling long-range link resets to its owner (the link
+"stops existing and the token starts again its random walk from the
+original node").  Messages in flight to the departed node are dropped by
+the network layer.  DESIGN.md §4.11 records this failure-notification
+assumption, which the paper's recovery analysis presupposes.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import Node
+from repro.ids import NEG_INF, POS_INF
+from repro.sim.network import Network
+
+__all__ = ["leave_node"]
+
+
+def leave_node(network: Network, node_id: float) -> Node:
+    """Remove *node_id* from the network, purging all references to it."""
+    departed = network.remove_node(node_id)
+    network.purge_identifier(node_id)
+    for state in network.states().values():
+        if state.l == node_id:
+            state.l = NEG_INF
+        if state.r == node_id:
+            state.r = POS_INF
+        if state.ring == node_id:
+            state.ring = None
+        if state.lrl == node_id:
+            state.lrl = state.id
+            state.age = 0
+    return departed

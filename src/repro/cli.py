@@ -1,0 +1,151 @@
+"""Command-line interface: ``repro list`` / ``repro run <id> [k=v ...]``.
+
+Examples::
+
+    repro list
+    repro run e03
+    repro run e05 sizes=256,512,1024 queries=500
+    repro run all quick=1
+
+Parameter values are parsed as Python literals where possible (ints,
+floats, tuples via comma lists), so every driver keyword can be set from
+the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main"]
+
+#: Reduced parameter sets for ``run all quick=1`` (CI-sized smoke pass).
+_QUICK_OVERRIDES: dict[str, dict[str, object]] = {
+    "e01": {"sizes": (16, 32), "trials": 2},
+    "e02": {"n": 24, "trials": 1, "extra_rounds": 50},
+    "e03": {"n": 2**11, "trials": 2},
+    "e04": {"n": 512, "horizons": (1_000, 5_000), "samples": 50},
+    "e05": {"sizes": (256, 512, 1024), "queries": 400, "process_horizon": 4_000},
+    "e06": {"sizes": (64, 128, 256), "trials": 2},
+    "e07": {"sizes": (64, 128, 256), "trials": 2},
+    "e08": {"sizes": (128, 256, 512), "measure_rounds": 5},
+    "e09": {"n": 96, "fractions": (0.05, 0.2), "trials": 2},
+    "e10": {"sizes": (24, 48), "trials": 2},
+    "e11": {"n": 256, "horizon": 5_000, "samples": 20, "lifetime_draws": 50_000},
+    "e12": {"n": 200, "k": 6, "p_points": 6, "trials": 2},
+    "e13": {"sizes": (512, 2048), "queries": 500},
+    "e14": {"sides": (8, 16), "queries": 400, "horizon_factor": 10},
+    "e15": {"n": 32, "trials": 1},
+    "e16": {"n": 512, "queries": 300, "fractions": (0.0, 0.1)},
+    "e17": {"n": 48, "rates": (0.05, 0.5), "rounds": 120, "trials": 1},
+    "e18": {"sizes": (16, 32, 64), "trials": 2},
+    "e19": {"n": 256, "horizon": 3_000, "queries": 300},
+    "e20": {"n": 24, "trials": 1, "topologies": ("random_tree",)},
+}
+
+
+def _parse_value(text: str) -> object:
+    """Parse a CLI parameter value: int, float, comma tuple, or string."""
+    if "," in text:
+        return tuple(_parse_value(part) for part in text.split(",") if part)
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
+    params: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"parameters must be key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _run_one(experiment_id: str, params: dict[str, object]) -> None:
+    params = dict(params)  # never mutate the caller's dict (run-all shares it)
+    out = params.pop("out", None)
+    spec = get_experiment(experiment_id)
+    start = time.perf_counter()
+    result = spec.run(**params)
+    elapsed = time.perf_counter() - start
+    print(result.table())
+    print(f"(elapsed: {elapsed:.1f}s)")
+    if out is not None:
+        from repro.analysis.export import write_result
+
+        write_result(result, str(out))
+        print(f"(written: {out})")
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'A Self-Stabilization Process "
+        "for Small-World Networks' (IPDPS Workshops 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (e01..e20) or 'all'")
+    run_p.add_argument(
+        "params",
+        nargs="*",
+        help="driver keyword overrides as key=value (tuples via commas)",
+    )
+    report_p = sub.add_parser(
+        "report", help="run every experiment and write a Markdown report"
+    )
+    report_p.add_argument(
+        "params",
+        nargs="*",
+        help="options: out=REPORT.md quick=1 only=e03,e05",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.id}  {spec.title}")
+        return 0
+
+    if args.command == "report":
+        from repro.report import write_report
+
+        options = _parse_params(args.params)
+        out = str(options.pop("out", "REPORT.md"))
+        quick = bool(options.pop("quick", True))
+        only = options.pop("only", None)
+        if isinstance(only, str):
+            only = (only,)
+        write_report(out, quick=quick, only=only)
+        print(f"report written: {out}")
+        return 0
+
+    params = _parse_params(args.params)
+    if args.experiment == "all":
+        quick = bool(params.pop("quick", False))
+        for spec in EXPERIMENTS.values():
+            overrides = dict(_QUICK_OVERRIDES.get(spec.id, {})) if quick else {}
+            overrides.update(params)
+            _run_one(spec.id, overrides)
+        return 0
+    try:
+        _run_one(args.experiment, params)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

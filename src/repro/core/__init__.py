@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the self-stabilizing small-world protocol.
+
+This package implements, module by module, the machinery of Section III of
+the paper:
+
+* :mod:`repro.core.messages` — the seven message types (``lin``, ``inclrl``,
+  ``reslrl``, ``ring``, ``resring``, ``probr``, ``probl``).
+* :mod:`repro.core.state` — the per-node variables (``l``, ``r``, ``lrl``,
+  ``ring``, ``age``).
+* :mod:`repro.core.forget` — the forget probability φ(α) of the
+  move-and-forget process and its closed-form survival function.
+* :mod:`repro.core.node` — Algorithms 1–10: the receive action and the
+  regular action of every node.
+* :mod:`repro.core.protocol` — configuration and a façade tying a set of
+  nodes to the simulator substrate.
+"""
+
+from repro.core.forget import (
+    expected_lifetime,
+    forget_probability,
+    survival,
+)
+from repro.core.messages import (
+    Message,
+    MessageType,
+    inclrl,
+    lin,
+    probl,
+    probr,
+    reslrl,
+    resring,
+    ring,
+)
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Node",
+    "NodeState",
+    "ProtocolConfig",
+    "expected_lifetime",
+    "forget_probability",
+    "inclrl",
+    "lin",
+    "probl",
+    "probr",
+    "reslrl",
+    "resring",
+    "ring",
+    "survival",
+]

@@ -1,0 +1,196 @@
+"""Message types of the self-stabilizing small-world protocol (paper §III).
+
+The paper distinguishes seven message types:
+
+* ``lin`` — "the standard message type to create links that are part of the
+  so called linearization process."
+* ``inclrl`` — "used to mark incoming long range links that form the
+  small-world network."  Carries the identifier of the link's *origin* so
+  the endpoint can respond.
+* ``reslrl`` — "sent to respond to an incoming long range link and to inform
+  the origin of the long range link about possible network changes."
+  Carries three identifiers ``(responder, id1, id2)``: the responding
+  endpoint itself plus its ring-left and ring-right neighbors.  A sentinel
+  in the ``id1``/``id2`` slot signals "that side unknown" (Algorithm 4
+  handles these cases explicitly).  The responder field is a documented
+  protocol correction (DESIGN.md §4.13): channels are unordered and
+  unbounded, so a response from a *previous* endpoint can arrive
+  arbitrarily late; moving the token on stale information teleports it off
+  its current position and can drop the last reference to the current
+  endpoint.  Algorithm 4 discards responses whose responder is not the
+  current ``p.lrl``.
+* ``ring`` — "used to establish a ring edge if a node misses its left
+  neighbor" (or right neighbor; Algorithm 9 sends it in both cases).
+* ``resring`` — response to a ``ring`` message carrying a candidate ring
+  endpoint.
+* ``probr`` / ``probl`` — probing messages propagated rightwards/leftwards
+  to verify that a node is connected to its long-range-link target (or ring
+  target) through non-long-range edges.
+
+Messages are immutable and hashable so channels can coalesce duplicates
+(DESIGN.md §4.7) and tests can assert on exact message sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ids import NEG_INF, POS_INF, is_real, require_id
+
+__all__ = [
+    "MessageType",
+    "Message",
+    "lin",
+    "inclrl",
+    "reslrl",
+    "ring",
+    "resring",
+    "probr",
+    "probl",
+]
+
+
+class MessageType(enum.Enum):
+    """The seven message types of paper §III."""
+
+    LIN = "lin"
+    INCLRL = "inclrl"
+    RESLRL = "reslrl"
+    RING = "ring"
+    RESRING = "resring"
+    PROBR = "probr"
+    PROBL = "probl"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Message types whose payload is a single real identifier.
+_SINGLE_ID_TYPES = frozenset(
+    {
+        MessageType.LIN,
+        MessageType.INCLRL,
+        MessageType.RING,
+        MessageType.RESRING,
+        MessageType.PROBR,
+        MessageType.PROBL,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An immutable protocol message.
+
+    Attributes
+    ----------
+    type:
+        One of the seven :class:`MessageType` values.
+    ids:
+        The identifier payload.  One identifier for every type except
+        ``reslrl``, which carries two (``id1``, ``id2``).
+    """
+
+    type: MessageType
+    ids: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.type in _SINGLE_ID_TYPES:
+            if len(self.ids) != 1:
+                raise ValueError(
+                    f"{self.type} message must carry exactly one identifier, "
+                    f"got {self.ids!r}"
+                )
+            require_id(self.ids[0], what=f"{self.type} payload")
+        elif self.type is MessageType.RESLRL:
+            if len(self.ids) != 3:
+                raise ValueError(
+                    f"reslrl message must carry exactly three identifiers "
+                    f"(responder, id1, id2), got {self.ids!r}"
+                )
+            responder, id1, id2 = self.ids
+            require_id(responder, what="reslrl responder")
+            # Either neighbor slot may be a sentinel ("that side unknown"),
+            # but a reslrl with no information at all is never sent
+            # (Algorithm 3 has no branch for p.l = −∞ ∧ p.r = +∞).
+            if not (is_real(id1) or is_real(id2)):
+                raise ValueError("reslrl must carry at least one real identifier")
+            if is_real(id1):
+                require_id(id1, what="reslrl id1")
+            elif id1 != NEG_INF:
+                raise ValueError(f"reslrl id1 sentinel must be -inf, got {id1!r}")
+            if is_real(id2):
+                require_id(id2, what="reslrl id2")
+            elif id2 != POS_INF:
+                raise ValueError(f"reslrl id2 sentinel must be +inf, got {id2!r}")
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown message type {self.type!r}")
+
+    @property
+    def id(self) -> float:
+        """The payload identifier of a single-identifier message."""
+        if self.type is MessageType.RESLRL:
+            raise AttributeError("reslrl messages carry two identifiers; use id1/id2")
+        return self.ids[0]
+
+    @property
+    def responder(self) -> float:
+        """The endpoint that produced a ``reslrl`` response."""
+        if self.type is not MessageType.RESLRL:
+            raise AttributeError("responder is only defined for reslrl messages")
+        return self.ids[0]
+
+    @property
+    def id1(self) -> float:
+        """Ring-left candidate of a ``reslrl`` payload."""
+        if self.type is not MessageType.RESLRL:
+            raise AttributeError("id1 is only defined for reslrl messages")
+        return self.ids[1]
+
+    @property
+    def id2(self) -> float:
+        """Ring-right candidate of a ``reslrl`` payload."""
+        if self.type is not MessageType.RESLRL:
+            raise AttributeError("id2 is only defined for reslrl messages")
+        return self.ids[2]
+
+    def __repr__(self) -> str:
+        payload = ", ".join(f"{i:.6g}" for i in self.ids)
+        return f"Message({self.type}, {payload})"
+
+
+def lin(node_id: float) -> Message:
+    """Build a linearization message carrying *node_id* (Algorithm 2/9)."""
+    return Message(MessageType.LIN, (node_id,))
+
+
+def inclrl(origin_id: float) -> Message:
+    """Build an incoming-long-range-link notification from *origin_id*."""
+    return Message(MessageType.INCLRL, (origin_id,))
+
+
+def reslrl(responder: float, id1: float, id2: float) -> Message:
+    """Build a long-range-link response: the responder and its ring
+    neighbors (left, right)."""
+    return Message(MessageType.RESLRL, (responder, id1, id2))
+
+
+def ring(origin_id: float) -> Message:
+    """Build a ring-edge establishment message from *origin_id*."""
+    return Message(MessageType.RING, (origin_id,))
+
+
+def resring(candidate_id: float) -> Message:
+    """Build a ring-edge response carrying a candidate endpoint."""
+    return Message(MessageType.RESRING, (candidate_id,))
+
+
+def probr(destination_id: float) -> Message:
+    """Build a rightward probing message aimed at *destination_id*."""
+    return Message(MessageType.PROBR, (destination_id,))
+
+
+def probl(destination_id: float) -> Message:
+    """Build a leftward probing message aimed at *destination_id*."""
+    return Message(MessageType.PROBL, (destination_id,))

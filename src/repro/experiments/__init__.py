@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per reproduced claim (DESIGN.md §3).
+
+The paper contains no tables or figures — its evaluation is the chain of
+theorems in Section IV — so each experiment regenerates one quantitative
+claim as a table.  Every driver exposes
+
+``run(*, seed=..., **params) -> ExperimentResult``
+
+with parameter defaults sized so the full suite completes on a laptop; the
+benchmark harness calls the same drivers with its own sizes.  The registry
+(:data:`repro.experiments.registry.EXPERIMENTS`) maps experiment ids to
+drivers for the CLI.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment"]

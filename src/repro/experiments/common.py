@@ -1,0 +1,79 @@
+"""Shared experiment-result structure and helpers."""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import format_rows
+
+__all__ = ["ExperimentResult", "seed_rng"]
+
+
+def seed_rng(*parts: object) -> np.random.Generator:
+    """Deterministic generator from heterogeneous seed parts.
+
+    Strings are hashed with CRC-32 (stable across processes, unlike
+    ``hash``); floats are hashed via their IEEE bit pattern; ints pass
+    through.  Every experiment derives its per-trial generators this way so
+    a row is reproducible from the parameters printed with it.
+    """
+    material: list[int] = []
+    for part in parts:
+        if isinstance(part, bool):
+            material.append(int(part))
+        elif isinstance(part, (int, np.integer)):
+            material.append(int(part) & 0xFFFFFFFF)
+        elif isinstance(part, float):
+            material.append(zlib.crc32(np.float64(part).tobytes()))
+        elif isinstance(part, str):
+            material.append(zlib.crc32(part.encode()))
+        else:
+            raise TypeError(f"unsupported seed part {part!r}")
+    return np.random.default_rng(material)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table plus the verdict-bearing notes.
+
+    Attributes
+    ----------
+    experiment:
+        Short id (``"e03"``).
+    title:
+        Human-readable claim being reproduced.
+    claim:
+        The paper's asymptotic statement, quoted.
+    params:
+        The exact parameters used (including the seed) — every table is
+        reproducible from this dict alone.
+    rows:
+        The table body (list of dicts, one per row).
+    notes:
+        Fit results, verdicts, and caveats, appended by the driver.
+    """
+
+    experiment: str
+    title: str
+    claim: str
+    params: dict[str, object]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self, *, precision: int = 4) -> str:
+        """Render the result as the harness's standard ASCII block."""
+        header = f"[{self.experiment}] {self.title}\nclaim: {self.claim}"
+        params = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        body = format_rows(self.rows, precision=precision)
+        notes = "\n".join(f"  - {n}" for n in self.notes)
+        parts = [header, f"params: {params}", body]
+        if notes:
+            parts.append("notes:\n" + notes)
+        return "\n".join(parts)
+
+    def note(self, text: str) -> None:
+        """Append a verdict/observation note."""
+        self.notes.append(text)

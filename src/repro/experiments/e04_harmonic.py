@@ -1,0 +1,126 @@
+"""E4 — the move-and-forget link-length distribution (Theorem 4.22, [4]).
+
+Phase 4's substance: on the stable ring, the move-and-forget process drives
+the long-range links toward the 1-harmonic distribution (Fact 4.21), the
+distribution that makes greedy routing polylogarithmic.  We run the
+process from a cold start for increasing horizons and report, per horizon,
+the log-log slope of the link-length pmf (harmonic = −1) and the KS
+distance to the exact harmonic reference.
+
+Two honesty notes, recorded in the output:
+
+* [4] proves ball-proportional probabilities up to polylog factors — the
+  exact stationary law has a ``1/(d ln^{1+ε} d)`` body plus a
+  near-uniform component from very old tokens, so measured slopes slightly
+  below −1 at finite horizons are the expected shape, not a failure.
+* Convergence is slow (heavy-tailed ages); the horizon sweep makes the
+  trend itself the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distribution import ks_distance, loglog_slope
+from repro.experiments.common import ExperimentResult, seed_rng
+from repro.moveforget.analysis import collect_length_histogram
+from repro.moveforget.harmonic import harmonic_length_pmf
+from repro.moveforget.process import RingMoveForgetProcess
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    n: int = 2048,
+    horizons: tuple[int, ...] = (1_000, 10_000, 50_000),
+    samples: int = 200,
+    sample_every: int = 25,
+    epsilon: float = 0.1,
+    seed: int = 4,
+) -> ExperimentResult:
+    """One row per horizon: slope and KS distance of the length pmf."""
+    result = ExperimentResult(
+        experiment="e04",
+        title="Move-and-forget link lengths vs the 1-harmonic distribution",
+        claim="Theorem 4.22 / Fact 4.21: long-range link lengths converge to "
+        "the 1-harmonic distribution (log-log slope -1)",
+        params={
+            "n": n,
+            "horizons": horizons,
+            "samples": samples,
+            "sample_every": sample_every,
+            "epsilon": epsilon,
+            "seed": seed,
+        },
+    )
+    reference = harmonic_length_pmf(n)
+    d_max = max(8, n // 16)
+    ref_slope, _ = loglog_slope(reference, d_min=2, d_max=d_max)
+    for horizon in horizons:
+        rng = seed_rng(seed, horizon)
+        process = RingMoveForgetProcess(n, epsilon=epsilon, rng=rng)
+        hist = collect_length_histogram(
+            process,
+            warmup=horizon,
+            samples=samples,
+            sample_every=sample_every,
+        )
+        pmf = hist.pmf(drop_home=True)
+        slope, r2 = loglog_slope(pmf, d_min=2, d_max=d_max)
+        result.rows.append(
+            {
+                "horizon": horizon,
+                "slope": slope,
+                "slope_r2": r2,
+                "ks_vs_harmonic": ks_distance(pmf, reference),
+                "home_fraction": hist.home_fraction,
+                "mean_len": float(
+                    (pmf * np.arange(1, pmf.size + 1)).sum()
+                ),
+            }
+        )
+    # The t→∞ endpoint, sampled exactly (renewal age + binomial walk,
+    # repro.moveforget.stationary): where the horizons are heading.
+    from repro.moveforget.stationary import sample_stationary_links
+
+    rng = seed_rng(seed, "stationary")
+    counts = np.zeros(n // 2 + 1, dtype=np.int64)
+    for _ in range(max(1, samples // 10)):
+        _, positions = sample_stationary_links(n, rng, epsilon=epsilon)
+        off = (positions - np.arange(n)) % n
+        lengths = np.minimum(off, n - off)
+        counts += np.bincount(lengths, minlength=counts.size)
+    stat_pmf = counts[1:] / max(counts[1:].sum(), 1)
+    stat_slope, stat_r2 = loglog_slope(stat_pmf, d_min=2, d_max=d_max)
+    result.rows.append(
+        {
+            "horizon": -1,  # the exact stationary sampler (t → ∞)
+            "slope": stat_slope,
+            "slope_r2": stat_r2,
+            "ks_vs_harmonic": ks_distance(stat_pmf, reference),
+            "home_fraction": float(counts[0] / counts.sum()),
+            "mean_len": float(
+                (stat_pmf * np.arange(1, stat_pmf.size + 1)).sum()
+            ),
+        }
+    )
+    slopes = [r["slope"] for r in result.rows if r["horizon"] > 0]
+    result.note(
+        f"harmonic reference slope over the same bins: {ref_slope:.3f} "
+        f"(exactly -1 asymptotically)"
+    )
+    result.note(
+        f"exact stationary sampler (horizon=-1 row): slope "
+        f"{stat_slope:.2f}, KS {result.rows[-1]['ks_vs_harmonic']:.3f} - "
+        f"the t->inf law the horizons converge toward"
+    )
+    result.note(
+        f"measured slope trend across horizons: {['%.2f' % s for s in slopes]} "
+        f"- approaching the harmonic body from below as ages accumulate"
+    )
+    ks = [r["ks_vs_harmonic"] for r in result.rows if r["horizon"] > 0]
+    trend = "decreasing" if all(b <= a + 1e-9 for a, b in zip(ks, ks[1:])) else "non-monotone"
+    result.note(f"KS distance to harmonic across horizons is {trend}: "
+                f"{['%.3f' % k for k in ks]}")
+    return result

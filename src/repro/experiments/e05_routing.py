@@ -1,0 +1,103 @@
+"""E5 — greedy routing: the small-world payoff (Fact 4.21, Conclusion).
+
+"The self-stabilizing variant of this small-world network inherits also its
+properties, which is greedy routing in O(ln^{2+ε} n)."
+
+For each n we route random query pairs over four link configurations:
+
+* ``harmonic`` — the converged small-world state (Fact 4.21);
+* ``process`` — the links an actual move-and-forget run produces after a
+  finite horizon (the state the protocol is really in);
+* ``uniform`` — uniformly random links (Kleinberg's non-navigable control);
+* ``ring`` — no long-range links at all.
+
+Who should win: harmonic ≈ process ≪ uniform ≪ ring, with the harmonic
+curve fitting a polylog and ring fitting a power law with exponent ≈ 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.scaling import compare_scaling, fit_power
+from repro.baselines.kleinberg import kleinberg_lrl_ranks
+from repro.baselines.random_links import uniform_lrl_ranks
+from repro.experiments.common import ExperimentResult, seed_rng
+from repro.moveforget.process import RingMoveForgetProcess
+from repro.routing.greedy import greedy_route_hops
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192),
+    queries: int = 2000,
+    process_horizon: int | None = None,
+    epsilon: float = 0.1,
+    seed: int = 5,
+) -> ExperimentResult:
+    """One row per n with mean hops for each link configuration."""
+    result = ExperimentResult(
+        experiment="e05",
+        title="Greedy routing hops vs network size, by link distribution",
+        claim="Fact 4.21 / Conclusion: greedy routing in O(ln^{2+eps} n) on "
+        "the converged small-world network",
+        params={
+            "sizes": sizes,
+            "queries": queries,
+            "process_horizon": process_horizon,
+            "epsilon": epsilon,
+            "seed": seed,
+        },
+    )
+    for n in sizes:
+        rng = seed_rng(seed, n)
+        src = rng.integers(0, n, size=queries)
+        dst = rng.integers(0, n, size=queries)
+        harmonic = kleinberg_lrl_ranks(n, rng)
+        uniform = uniform_lrl_ranks(n, rng)
+        process = RingMoveForgetProcess(n, epsilon=epsilon, rng=rng)
+        # Default horizon scales with n: the walk needs Θ(d²) steps to grow
+        # links of length d, so a fixed horizon would leave large rings in
+        # the short-link transient forever.
+        process.run(process_horizon if process_horizon is not None else 30 * n)
+        row = {
+            "n": n,
+            "harmonic": float(greedy_route_hops(n, harmonic, src, dst).mean()),
+            "process": float(
+                greedy_route_hops(n, process.lrl_ranks(), src, dst).mean()
+            ),
+            "uniform": float(greedy_route_hops(n, uniform, src, dst).mean()),
+            "ring": float(greedy_route_hops(n, None, src, dst).mean()),
+            "ln2_n": float(np.log(n) ** 2),
+        }
+        result.rows.append(row)
+
+    xs = np.array([r["n"] for r in result.rows], dtype=float)
+    fits = compare_scaling(xs, np.array([r["harmonic"] for r in result.rows]))
+    poly = fits["polylog"]
+    result.note(
+        f"harmonic: hops ~= {poly.a:.2f} * ln(n)^{poly.b:.2f} "
+        f"(R^2={poly.r_squared:.3f}), winner: {fits['winner']}"
+    )
+    ring_fit = fit_power(xs, np.array([r["ring"] for r in result.rows]))
+    result.note(
+        f"ring-only: hops ~= {ring_fit.a:.2f} * n^{ring_fit.b:.2f} "
+        f"(R^2={ring_fit.r_squared:.3f}); linear in n as expected"
+    )
+    uni_fit = fit_power(xs, np.array([r["uniform"] for r in result.rows]))
+    result.note(
+        f"uniform links: hops ~= {uni_fit.a:.2f} * n^{uni_fit.b:.2f} - "
+        f"polynomial, i.e. NOT navigable (Kleinberg's lower bound)"
+    )
+    ordered = all(
+        r["harmonic"] <= r["uniform"] + 1e-9 and r["uniform"] <= r["ring"] + 1e-9
+        for r in result.rows
+        if r["n"] >= 1024
+    )
+    result.note(
+        f"ordering harmonic <= uniform <= ring for n >= 1024: "
+        f"{'holds' if ordered else 'VIOLATED'}"
+    )
+    return result

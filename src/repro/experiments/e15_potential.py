@@ -1,0 +1,87 @@
+"""E15 — the linearization potential, observed round by round.
+
+The proof of Theorem 4.9 is a potential argument: Lemmas 4.11–4.14 show
+stored list links only get closer and that some stored link must shorten
+while the configuration is unsorted.  This experiment records the
+observable counterparts during a stabilization run — total stored-link
+length, fraction of sorted consecutive pairs, in-flight lin links, channel
+backlog — and reports the trajectory plus two verdict checks:
+
+* the sorted-pair fraction reaches 1.0 and the total length its minimum
+  (n−1 adjacent links ⇒ total rank-length 0);
+* from the round the sorted list first holds, the potential never rises
+  again (the closure side of the lemmas).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.convergence import track_convergence
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.experiments.common import ExperimentResult, seed_rng
+from repro.graphs.predicates import is_sorted_list
+from repro.sim.engine import Simulator
+from repro.topology.generators import TOPOLOGIES
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    n: int = 96,
+    topology: str = "star",
+    trials: int = 3,
+    sample_every: int = 2,
+    seed: int = 15,
+) -> ExperimentResult:
+    """Rows: the per-round potential trajectory of the first trial; notes:
+    verdicts aggregated over all trials."""
+    result = ExperimentResult(
+        experiment="e15",
+        title="Linearization potential trajectory (Lemmas 4.11-4.14)",
+        claim="Theorem 4.9 proof: stored list links only shorten; the "
+        "sorted list is the potential minimum",
+        params={
+            "n": n,
+            "topology": topology,
+            "trials": trials,
+            "sample_every": sample_every,
+            "seed": seed,
+        },
+    )
+    monotone_after_sort = 0
+    reached_minimum = 0
+    for t in range(trials):
+        rng = seed_rng(seed, topology, n, t)
+        states = TOPOLOGIES[topology](n, rng)
+        net = build_network(states, ProtocolConfig())
+        sim = Simulator(net, rng)
+        samples = track_convergence(
+            sim,
+            rounds=300 * n,
+            every=sample_every,
+            stop_when=lambda network: is_sorted_list(network.states()),
+        )
+        # Keep sampling a little past the sorted point to check closure.
+        samples += track_convergence(sim, rounds=30, every=sample_every)[1:]
+        if t == 0:
+            result.rows.extend(samples)
+        lengths = [s["lcp_total_length"] for s in samples]
+        fractions = [s["sorted_pair_fraction"] for s in samples]
+        sorted_at = next(
+            (i for i, frac in enumerate(fractions) if frac >= 1.0), None
+        )
+        if sorted_at is not None:
+            reached_minimum += int(lengths[sorted_at] == 0.0)
+            tail = lengths[sorted_at:]
+            monotone_after_sort += int(all(v == 0.0 for v in tail))
+    result.note(
+        f"{reached_minimum}/{trials} trials reached the potential minimum "
+        f"(total stored-link length 0 at the sorted list)"
+    )
+    result.note(
+        f"{monotone_after_sort}/{trials} trials kept the potential at its "
+        f"minimum ever after (closure, Lemma 4.14's consequence)"
+    )
+    return result

@@ -1,0 +1,146 @@
+"""E16 — small-world overlay vs a Chord-style structured overlay (§I).
+
+The introduction's positioning: structured overlays (CAN, Pastry, Chord)
+"provide polylogarithmic routing, but due to their uniform structure ...
+are more vulnerable to attacks or failures", while small-world networks
+offer "small routing distances ... while having a low average degree" plus
+robustness.  This experiment quantifies the trade:
+
+* **degree** — Chord stores Θ(log n) fingers; the small-world node stores
+  l, r, and one long-range link (constant out-degree);
+* **hops** — Chord's one-directional halving gives ≤ log₂ n; the harmonic
+  small-world pays ~ln² n;
+* **failure tolerance without repair** — kill a node fraction f and route
+  greedily around dead neighbors (no repair protocol): success rate and
+  hops of the survivors.
+
+Measured honestly, the static comparison goes the *other* way from a naive
+reading of §I: Chord's Θ(log n) fingers provide enough path diversity to
+route around 20% dead nodes, while the 3-link small-world node greedy
+dead-ends.  Degree parity restores the balance — ``sw_multi`` gives every
+node ⌈log₂ n⌉ harmonic links (Kleinberg's multi-link theorem) and matches
+Chord's static tolerance with *bidirectional* progress.  The small-world
+protocol's actual robustness claim is different in kind: connectivity
+survives (E9's giant component) and the overlay *repairs itself* in
+polylog rounds (E9's self-healing), which no static finger table does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.chord_like import (
+    chord_fingers,
+    chord_route_hops,
+    greedy_route_with_failures,
+)
+from repro.baselines.kleinberg import kleinberg_lrl_ranks
+from repro.experiments.common import ExperimentResult, seed_rng
+from repro.routing.greedy import greedy_route_hops
+from repro.routing.multilink import multilink_neighbors
+
+__all__ = ["run"]
+
+
+def _smallworld_neighbors(n: int, lrl: np.ndarray) -> np.ndarray:
+    idx = np.arange(n, dtype=np.int64)
+    return np.stack([(idx - 1) % n, (idx + 1) % n, lrl], axis=1)
+
+
+
+
+
+def run(
+    *,
+    n: int = 4096,
+    queries: int = 2000,
+    fractions: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2),
+    seed: int = 16,
+) -> ExperimentResult:
+    """One row per failure fraction comparing both overlays."""
+    result = ExperimentResult(
+        experiment="e16",
+        title="Small-world overlay vs Chord-style structured overlay",
+        claim="Section I: structured overlays route in O(log n) but are "
+        "more vulnerable to failures; the small-world overlay pays "
+        "polylog hops for constant degree and robustness",
+        params={"n": n, "queries": queries, "fractions": fractions, "seed": seed},
+    )
+    rng = seed_rng(seed, n)
+    lrl = kleinberg_lrl_ranks(n, rng)
+    sw_neighbors = _smallworld_neighbors(n, lrl)
+    chord_neighbors = chord_fingers(n)
+    multi_neighbors = multilink_neighbors(n, chord_neighbors.shape[1] - 2, rng)
+
+    for f in fractions:
+        alive = np.ones(n, dtype=bool)
+        if f > 0:
+            dead = rng.choice(n, size=int(f * n), replace=False)
+            alive[dead] = False
+        live_idx = np.flatnonzero(alive)
+        src = live_idx[rng.integers(0, live_idx.size, queries)]
+        dst = live_idx[rng.integers(0, live_idx.size, queries)]
+
+        sw_hops, sw_ok = greedy_route_with_failures(
+            n, sw_neighbors, alive, src, dst, clockwise_metric=False
+        )
+        ch_hops, ch_ok = greedy_route_with_failures(
+            n,
+            chord_neighbors,
+            alive,
+            src,
+            dst,
+            clockwise_metric=True,
+            max_hops=4 * int(np.ceil(np.log2(n))),
+        )
+        mu_hops, mu_ok = greedy_route_with_failures(
+            n, multi_neighbors, alive, src, dst, clockwise_metric=False
+        )
+        result.rows.append(
+            {
+                "fraction": f,
+                "sw_success": float(sw_ok.mean()),
+                "sw_hops": float(sw_hops[sw_ok].mean()) if sw_ok.any() else -1.0,
+                "sw_multi_success": float(mu_ok.mean()),
+                "sw_multi_hops": float(mu_hops[mu_ok].mean()) if mu_ok.any() else -1.0,
+                "chord_success": float(ch_ok.mean()),
+                "chord_hops": float(ch_hops[ch_ok].mean()) if ch_ok.any() else -1.0,
+                "sw_degree": 3.0,
+                "multi_degree": float(multi_neighbors.shape[1]),
+                "chord_degree": float(chord_neighbors.shape[1]),
+            }
+        )
+
+    # Undamaged sanity: both route everything; Chord is faster but fatter.
+    clean = result.rows[0]
+    assert clean["sw_success"] == 1.0 and clean["chord_success"] == 1.0
+    result.note(
+        f"undamaged: chord {clean['chord_hops']:.1f} hops with degree "
+        f"{clean['chord_degree']:.0f} vs small-world {clean['sw_hops']:.1f} "
+        f"hops with degree 3 (log2 n = {np.log2(n):.0f}, ln^2 n = "
+        f"{np.log(n) ** 2:.0f})"
+    )
+    # Verify chord's clean hop count against the dedicated kernel.
+    rng2 = seed_rng(seed, n, 1)
+    src = rng2.integers(0, n, 500)
+    dst = rng2.integers(0, n, 500)
+    kernel = float(chord_route_hops(n, src, dst).mean())
+    plain = float(greedy_route_hops(n, lrl, src, dst).mean())
+    result.note(
+        f"cross-check on fresh queries: chord kernel {kernel:.1f} hops, "
+        f"small-world kernel {plain:.1f} hops"
+    )
+    damaged = result.rows[-1]
+    result.note(
+        f"at {damaged['fraction']:.0%} failures with NO repair protocol: "
+        f"3-link small-world greedy succeeds {damaged['sw_success']:.0%}, "
+        f"chord {damaged['chord_success']:.0%}, degree-parity small-world "
+        f"{damaged['sw_multi_success']:.0%} - static fault tolerance is "
+        f"bought with degree, not topology"
+    )
+    result.note(
+        "the protocol's robustness is of a different kind: connectivity "
+        "survives and the overlay self-heals in polylog rounds (E9), which "
+        "a static finger table cannot do"
+    )
+    return result

@@ -1,0 +1,104 @@
+"""E20 — scheduler independence: fairness is all the protocol needs.
+
+The paper's model (§II-B) assumes only fair message receipt and weak
+fairness of actions; no synchrony, no bounded delay, no uniform speeds.
+This experiment runs identical initial configurations under four
+schedulers that stress those assumptions from different directions:
+
+* ``sync`` — the measurement scheduler (everything each round);
+* ``async`` — uniformly random single steps;
+* ``delay`` — every message adversarially delayed up to 6 extra rounds;
+* ``starve`` — 30% of nodes act only every 5th round.
+
+The claim reproduced: all of them stabilize; only the constants move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.experiments.common import ExperimentResult, seed_rng
+from repro.graphs.predicates import is_sorted_ring
+from repro.sim.adversary import DelayAdversary, StarvationAdversary
+from repro.sim.engine import Simulator
+from repro.sim.schedulers import AsyncScheduler, SynchronousScheduler
+from repro.topology.generators import TOPOLOGIES
+
+__all__ = ["run"]
+
+
+def _make_scheduler(kind: str):
+    if kind == "sync":
+        return SynchronousScheduler()
+    if kind == "async":
+        return AsyncScheduler()
+    if kind == "delay":
+        return DelayAdversary(max_delay=6)
+    if kind == "starve":
+        return StarvationAdversary(slow_fraction=0.3, period=5)
+    raise ValueError(f"unknown scheduler {kind!r}")
+
+
+def run(
+    *,
+    n: int = 48,
+    topologies: tuple[str, ...] = ("random_tree", "star"),
+    schedulers: tuple[str, ...] = ("sync", "async", "delay", "starve"),
+    trials: int = 3,
+    seed: int = 20,
+) -> ExperimentResult:
+    """One row per (topology, scheduler): rounds and messages to the ring."""
+    result = ExperimentResult(
+        experiment="e20",
+        title="Scheduler independence: stabilization under adversarial fairness",
+        claim="Section II-B: only fair receipt and weak fairness are "
+        "assumed - stabilization must survive any fair schedule",
+        params={
+            "n": n,
+            "topologies": topologies,
+            "schedulers": schedulers,
+            "trials": trials,
+            "seed": seed,
+        },
+    )
+    for name in topologies:
+        sync_mean = None
+        for kind in schedulers:
+            rounds, msgs = [], []
+            for t in range(trials):
+                rng = seed_rng(seed, name, kind, t)
+                net = build_network(TOPOLOGIES[name](n, rng), ProtocolConfig())
+                sim = Simulator(net, rng, scheduler=_make_scheduler(kind))
+                r = sim.run_until(
+                    lambda nw: is_sorted_ring(nw.states()),
+                    max_rounds=2000 * n,
+                    what=f"{kind} {name}",
+                )
+                rounds.append(r)
+                msgs.append(net.stats.total)
+            mean_rounds = float(np.mean(rounds))
+            if kind == "sync":
+                sync_mean = mean_rounds
+            result.rows.append(
+                {
+                    "topology": name,
+                    "scheduler": kind,
+                    "rounds_mean": mean_rounds,
+                    "rounds_max": float(np.max(rounds)),
+                    "messages_mean": float(np.mean(msgs)),
+                    "slowdown_vs_sync": (
+                        mean_rounds / sync_mean if sync_mean else 1.0
+                    ),
+                }
+            )
+    result.note(
+        f"all {len(result.rows) * trials} runs stabilized under every "
+        f"scheduler - fairness alone suffices, as the model claims"
+    )
+    worst = max(r["slowdown_vs_sync"] for r in result.rows)
+    result.note(
+        f"worst adversarial slowdown vs the synchronous scheduler: "
+        f"{worst:.1f}x (constants move, convergence does not)"
+    )
+    return result

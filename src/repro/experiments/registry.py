@@ -1,0 +1,133 @@
+"""Registry mapping experiment ids to drivers (used by the CLI and benches)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.experiments import (
+    e01_convergence,
+    e02_closure,
+    e03_probing,
+    e04_harmonic,
+    e05_routing,
+    e06_join,
+    e07_leave,
+    e08_overhead,
+    e09_robustness,
+    e10_ablation,
+    e11_age,
+    e12_ws,
+    e13_exponent,
+    e14_lattice,
+    e15_potential,
+    e16_structured,
+    e17_sustained_churn,
+    e18_message_complexity,
+    e19_epsilon,
+    e20_schedulers,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An entry in the experiment registry."""
+
+    id: str
+    title: str
+    run: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        ExperimentSpec(
+            "e01",
+            "Convergence from weakly connected initial states (Thm 4.1)",
+            e01_convergence.run,
+        ),
+        ExperimentSpec(
+            "e02", "Closure of phase invariants (Thm 4.1)", e02_closure.run
+        ),
+        ExperimentSpec(
+            "e03", "Probing hops vs distance (Lemma 4.23)", e03_probing.run
+        ),
+        ExperimentSpec(
+            "e04",
+            "Move-and-forget vs harmonic distribution (Thm 4.22)",
+            e04_harmonic.run,
+        ),
+        ExperimentSpec(
+            "e05", "Greedy routing vs baselines (Fact 4.21)", e05_routing.run
+        ),
+        ExperimentSpec("e06", "Join recovery cost (Thm 4.24)", e06_join.run),
+        ExperimentSpec("e07", "Leave recovery cost (Thm 4.24)", e07_leave.run),
+        ExperimentSpec(
+            "e08", "Stable-state message overhead (Sec IV-F)", e08_overhead.run
+        ),
+        ExperimentSpec(
+            "e09", "Robustness under mass failures (Sec I)", e09_robustness.run
+        ),
+        ExperimentSpec(
+            "e10", "Ablation: long-range shortcuts (Sec III-A)", e10_ablation.run
+        ),
+        ExperimentSpec(
+            "e11", "Age/lifetime distribution (Thm 4.22 proof)", e11_age.run
+        ),
+        ExperimentSpec(
+            "e12", "Watts-Strogatz C(p)/L(p) curves ([24])", e12_ws.run
+        ),
+        ExperimentSpec(
+            "e13",
+            "Kleinberg exponent sweep: alpha=1 uniquely navigable ([14])",
+            e13_exponent.run,
+        ),
+        ExperimentSpec(
+            "e14",
+            "2-D torus extension: move-and-forget navigability (future work)",
+            e14_lattice.run,
+        ),
+        ExperimentSpec(
+            "e15",
+            "Linearization potential trajectory (Lemmas 4.11-4.14)",
+            e15_potential.run,
+        ),
+        ExperimentSpec(
+            "e16",
+            "Small-world vs Chord-style structured overlay (Sec I)",
+            e16_structured.run,
+        ),
+        ExperimentSpec(
+            "e17",
+            "Availability under sustained churn (Sec I)",
+            e17_sustained_churn.run,
+        ),
+        ExperimentSpec(
+            "e18",
+            "Message complexity of stabilization (Conclusion, open question)",
+            e18_message_complexity.run,
+        ),
+        ExperimentSpec(
+            "e19",
+            "The epsilon trade-off (Sec III-D parameter study)",
+            e19_epsilon.run,
+        ),
+        ExperimentSpec(
+            "e20",
+            "Scheduler independence under adversarial fairness (Sec II-B)",
+            e20_schedulers.run,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment; raises ``KeyError`` with the known ids."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None

@@ -1,0 +1,42 @@
+"""Connectivity graphs and phase predicates (paper Definition 4.2, 4.8, 4.17).
+
+The correctness proof reasons about six graphs over the node set:
+
+* **CC** — channel connectivity: stored links *and* links implied by
+  identifiers travelling in messages;
+* **CP** — node connectivity: stored links only;
+* **LCC** — list channel connectivity: ``l``/``r`` links and ``lin``
+  messages;
+* **LCP** — list node connectivity: stored ``l``/``r`` links;
+* **RCC** — ring channel connectivity: LCC plus stored ring links and
+  ``ring`` messages;
+* **RCP** — ring node connectivity: LCP plus stored ring links.
+
+:mod:`repro.graphs.views` extracts each as a :class:`networkx.DiGraph`;
+:mod:`repro.graphs.predicates` implements the phase predicates of the
+analysis; :mod:`repro.graphs.build` constructs legitimate (stable) states
+directly for the stable-state experiments.
+"""
+
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import (
+    is_sorted_list,
+    is_sorted_ring,
+    lcc_weakly_connected,
+    phase_predicates,
+)
+from repro.graphs.views import cc_graph, cp_graph, lcc_graph, lcp_graph, rcc_graph, rcp_graph
+
+__all__ = [
+    "cc_graph",
+    "cp_graph",
+    "is_sorted_list",
+    "is_sorted_ring",
+    "lcc_graph",
+    "lcc_weakly_connected",
+    "lcp_graph",
+    "phase_predicates",
+    "rcc_graph",
+    "rcp_graph",
+    "stable_ring_states",
+]

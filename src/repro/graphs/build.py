@@ -1,0 +1,111 @@
+"""Construct legitimate (stable) protocol states directly.
+
+The stable-state experiments (probing cost E3, routing E5, overhead E8,
+churn E6/E7) need a network that *already* satisfies the sorted-ring
+invariant, with long-range links in the stationary (harmonic) regime —
+burning O(n · T) protocol rounds to get there would dominate every
+benchmark without measuring anything new (E1 and E4 validate the road to
+stability separately; DESIGN.md §4.10).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, POS_INF, evenly_spaced_ids, sort_unique
+
+__all__ = ["stable_ring_states", "wire_sorted_ring", "MATURE_AGE"]
+
+#: Age given to directly-sampled long-range links.  In the move-and-forget
+#: stationary regime, links that are long have survived for a long time —
+#: the renewal-age distribution implied by the closed-form survival function
+#: is so heavy-tailed that most stationary links are ancient, with
+#: φ(age) ≈ (1+ε)/age ≈ 0.  A freshly-sampled harmonic link with a *young*
+#: age would be forgotten almost immediately (φ(3) ≈ 0.6 for ε = 0.1) and
+#: the sampled distribution would collapse before any experiment could use
+#: it.  10^6 makes the expected number of forgets over a full experiment
+#: window (hundreds of rounds × thousands of links) below one.
+MATURE_AGE: int = 1_000_000
+
+
+def wire_sorted_ring(ids: Sequence[float]) -> list[NodeState]:
+    """Wire the given identifiers into a sorted ring with at-home tokens.
+
+    Returns one :class:`NodeState` per identifier: consecutive ``l``/``r``
+    links, ``min.ring = max``, ``max.ring = min`` (Definition 4.17), and
+    ``lrl = id`` (every move-and-forget token at home, age 0).
+    """
+    ordered = sort_unique(ids)
+    n = len(ordered)
+    states: list[NodeState] = []
+    for i, nid in enumerate(ordered):
+        states.append(
+            NodeState(
+                id=nid,
+                l=ordered[i - 1] if i > 0 else NEG_INF,
+                r=ordered[i + 1] if i < n - 1 else POS_INF,
+                lrl=nid,
+                ring=None,
+            )
+        )
+    if n >= 2:
+        states[0].ring = ordered[-1]
+        states[-1].ring = ordered[0]
+    return states
+
+
+def stable_ring_states(
+    n: int,
+    *,
+    lrl: str = "self",
+    rng: np.random.Generator | None = None,
+    epsilon: float | None = None,
+    ids: Sequence[float] | None = None,
+) -> list[NodeState]:
+    """Build *n* nodes in the legitimate sorted-ring state.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (ignored if *ids* is given).
+    lrl:
+        How to set the long-range links:
+
+        * ``"self"`` — all tokens at home (the post-reset state);
+        * ``"harmonic"`` — sampled from the stationary 1-harmonic
+          link-length distribution (Fact 4.21's small-world network);
+        * ``"uniform"`` — uniformly random endpoints (the *non*-navigable
+          baseline of experiment E5).
+    rng:
+        Required for the random ``lrl`` modes.
+    epsilon:
+        Unused for the distributions above but accepted so call sites can
+        pass their protocol ε uniformly.
+    ids:
+        Explicit identifiers; defaults to :func:`evenly_spaced_ids`.
+    """
+    ordered = sort_unique(ids) if ids is not None else evenly_spaced_ids(n)
+    n = len(ordered)
+    states = wire_sorted_ring(ordered)
+    if lrl == "self":
+        return states
+    if rng is None:
+        raise ValueError(f"lrl={lrl!r} requires an rng")
+    if lrl == "harmonic":
+        from repro.moveforget.harmonic import sample_harmonic_offsets
+
+        offsets = sample_harmonic_offsets(n, n, rng)
+        for i, state in enumerate(states):
+            state.lrl = ordered[(i + int(offsets[i])) % n]
+            state.age = MATURE_AGE
+    elif lrl == "uniform":
+        targets = rng.integers(0, n, size=n)
+        for i, state in enumerate(states):
+            state.lrl = ordered[int(targets[i])]
+            state.age = MATURE_AGE
+    else:
+        raise ValueError(f"unknown lrl mode {lrl!r}")
+    return states

@@ -1,0 +1,217 @@
+"""Identifier algebra for the self-stabilizing small-world protocol.
+
+The paper assigns every process an identifier ``id`` from the half-open
+interval ``[0, 1)`` and orders all protocol decisions by comparisons on
+identifiers.  Two sentinel values stand in for "no neighbor":
+
+* ``NEG_INF`` (−∞) — the value of ``p.l`` when ``p`` knows no smaller node;
+* ``POS_INF`` (+∞) — the value of ``p.r`` when ``p`` knows no larger node.
+
+This module centralizes everything identifier-related:
+
+* validation (:func:`is_valid_id`, :func:`require_id`),
+* sentinel predicates (:func:`is_real`, :func:`is_sentinel`),
+* order helpers used throughout the pseudocode
+  (:func:`between`, :func:`strictly_between`),
+* identifier generation (:func:`generate_ids`, :func:`evenly_spaced_ids`),
+* rank/ring distance helpers used by the analysis
+  (:func:`rank_of`, :func:`link_length`, :func:`ring_distance`).
+
+Identifiers are plain Python floats, which keeps the protocol core free of
+any wrapper-object overhead (the simulator executes millions of comparisons
+per run; see the performance notes in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "NEG_INF",
+    "POS_INF",
+    "NodeId",
+    "is_valid_id",
+    "require_id",
+    "is_real",
+    "is_sentinel",
+    "between",
+    "strictly_between",
+    "generate_ids",
+    "evenly_spaced_ids",
+    "rank_of",
+    "ranks",
+    "link_length",
+    "ring_distance",
+    "sort_unique",
+]
+
+#: Sentinel for "no left neighbor" (the paper's −∞).
+NEG_INF: float = float("-inf")
+
+#: Sentinel for "no right neighbor" (the paper's +∞).
+POS_INF: float = float("inf")
+
+#: Type alias for node identifiers.  Real identifiers live in ``[0, 1)``;
+#: the sentinels ``NEG_INF``/``POS_INF`` appear only in the ``l``/``r``
+#: state variables, never inside messages (DESIGN.md §4.2).
+NodeId = float
+
+
+def is_valid_id(value: object) -> bool:
+    """Return ``True`` iff *value* is a real identifier in ``[0, 1)``.
+
+    Sentinels, NaNs, out-of-range floats and non-float types are rejected.
+    """
+    if not isinstance(value, (float, int, np.floating)):
+        return False
+    v = float(value)
+    return 0.0 <= v < 1.0
+
+
+def require_id(value: object, *, what: str = "identifier") -> float:
+    """Validate *value* as a real identifier and return it as a float.
+
+    Raises
+    ------
+    ValueError
+        If *value* is not a real identifier in ``[0, 1)``.  This is the
+        guard that enforces the compare-store-send rule that messages only
+        ever carry existing identifiers (DESIGN.md §4.2).
+    """
+    if not is_valid_id(value):
+        raise ValueError(f"{what} must lie in [0, 1), got {value!r}")
+    return float(value)
+
+
+def is_real(value: float) -> bool:
+    """Return ``True`` iff *value* is a finite identifier (not ±∞)."""
+    return NEG_INF < value < POS_INF
+
+
+def is_sentinel(value: float) -> bool:
+    """Return ``True`` iff *value* is one of the ±∞ sentinels."""
+    return value == NEG_INF or value == POS_INF
+
+
+def between(lo: float, mid: float, hi: float) -> bool:
+    """Return ``True`` iff ``lo <= mid <= hi``.
+
+    Works with sentinel endpoints; e.g. ``between(NEG_INF, x, POS_INF)``
+    holds for every identifier ``x``.
+    """
+    return lo <= mid <= hi
+
+
+def strictly_between(lo: float, mid: float, hi: float) -> bool:
+    """Return ``True`` iff ``lo < mid < hi`` (the paper's ``lo < mid < hi``)."""
+    return lo < mid < hi
+
+
+def generate_ids(n: int, rng: np.random.Generator) -> list[float]:
+    """Draw *n* distinct identifiers uniformly at random from ``[0, 1)``.
+
+    Uniqueness is enforced by redrawing collisions (vanishingly unlikely for
+    double-precision draws, but the protocol's correctness arguments require
+    strict total order, so we guarantee it).
+
+    Parameters
+    ----------
+    n:
+        Number of identifiers; must be positive.
+    rng:
+        Source of randomness; all library entry points accept an explicit
+        generator for reproducibility.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    seen: set[float] = set()
+    out: list[float] = []
+    while len(out) < n:
+        for v in rng.random(n - len(out)):
+            f = float(v)
+            if f not in seen and 0.0 <= f < 1.0:
+                seen.add(f)
+                out.append(f)
+    return out
+
+
+def evenly_spaced_ids(n: int) -> list[float]:
+    """Return *n* deterministic, evenly spaced identifiers ``i/n``.
+
+    Handy for tests and for stable-state experiments where the identifier
+    values themselves are irrelevant and only their order matters.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [i / n for i in range(n)]
+
+
+def sort_unique(ids: Iterable[float]) -> list[float]:
+    """Return the identifiers sorted ascending, verifying uniqueness.
+
+    Raises
+    ------
+    ValueError
+        If a duplicate identifier is found — duplicate ids violate the
+        model's total-order assumption and would make the sorted-list
+        predicate (Definition 4.8) ill-defined.
+    """
+    ordered = sorted(float(i) for i in ids)
+    for a, b in zip(ordered, ordered[1:]):
+        if a == b:
+            raise ValueError(f"duplicate identifier {a!r}")
+    return ordered
+
+
+def rank_of(node: float, ordered_ids: Sequence[float]) -> int:
+    """Return the rank (0-based position) of *node* in *ordered_ids*.
+
+    Parameters
+    ----------
+    node:
+        An identifier that must be present in *ordered_ids*.
+    ordered_ids:
+        Identifiers sorted ascending (see :func:`sort_unique`).
+    """
+    i = bisect_left(ordered_ids, node)
+    if i >= len(ordered_ids) or ordered_ids[i] != node:
+        raise KeyError(f"identifier {node!r} not in network")
+    return i
+
+
+def ranks(ids: Iterable[float]) -> dict[float, int]:
+    """Map every identifier to its rank in the sorted order."""
+    return {v: i for i, v in enumerate(sort_unique(ids))}
+
+
+def link_length(u: float, v: float, ordered_ids: Sequence[float]) -> int:
+    """Length of link ``(u, v)`` as defined in the paper (§II-A).
+
+    "The length of a link (u, v) is the number of nodes w such that
+    u < w < v or v < w < u" — i.e. the number of nodes strictly between the
+    endpoints, which equals ``|rank(u) − rank(v)| − 1`` for distinct nodes.
+    A self-link has length 0 by convention (no node lies strictly between).
+    """
+    if u == v:
+        return 0
+    ru = rank_of(u, ordered_ids)
+    rv = rank_of(v, ordered_ids)
+    return abs(ru - rv) - 1
+
+
+def ring_distance(u: float, v: float, ordered_ids: Sequence[float]) -> int:
+    """Hop distance between *u* and *v* on the sorted ring.
+
+    This is the metric of the 1-dimensional lattice ``Z_n`` (the ring): the
+    minimum of the clockwise and counter-clockwise rank differences.  Greedy
+    routing and the harmonic link-length distribution are both defined in
+    terms of this distance.
+    """
+    n = len(ordered_ids)
+    ru = rank_of(u, ordered_ids)
+    rv = rank_of(v, ordered_ids)
+    d = abs(ru - rv)
+    return min(d, n - d)

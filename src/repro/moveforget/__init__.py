@@ -1,0 +1,29 @@
+"""The move-and-forget rewiring substrate (Chaintreau, Fraigniaud, Lebhar [4]).
+
+The paper builds its small-world layer on the process of [4]: every node
+owns a token that random-walks the lattice; the node's long-range link
+points at the token; links of age α are forgotten with probability φ(α),
+restarting the token at home.  The stationary link-length distribution is
+the k-harmonic distribution, which is what makes greedy routing
+polylogarithmic (Kleinberg).
+
+* :mod:`repro.moveforget.process` — the process itself, fully vectorized,
+  on 1-D rings and general k-dimensional lattices.
+* :mod:`repro.moveforget.harmonic` — the target harmonic distribution:
+  exact pmf, sampling, and goodness-of-fit helpers.
+* :mod:`repro.moveforget.analysis` — link-length and age statistics of a
+  running process.
+"""
+
+from repro.moveforget.harmonic import (
+    harmonic_offset_pmf,
+    sample_harmonic_offsets,
+)
+from repro.moveforget.process import LatticeMoveForgetProcess, RingMoveForgetProcess
+
+__all__ = [
+    "LatticeMoveForgetProcess",
+    "RingMoveForgetProcess",
+    "harmonic_offset_pmf",
+    "sample_harmonic_offsets",
+]

@@ -1,0 +1,134 @@
+"""Statistics of a running move-and-forget process.
+
+Experiment E4 compares the *time-averaged* link-length distribution of the
+process against the harmonic target; experiment E11 checks the age
+distribution against the closed-form survival function.  Time averaging
+matters: the per-step snapshot of n tokens is noisy and correlated, while
+the ergodic average over a window converges to the stationary law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forget import survival_array
+from repro.moveforget.process import RingMoveForgetProcess
+
+__all__ = [
+    "LengthHistogram",
+    "collect_length_histogram",
+    "collect_age_samples",
+    "age_survival_empirical",
+]
+
+
+class LengthHistogram:
+    """Accumulates link-length counts over many process snapshots."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("n must be at least 2")
+        self.n = n
+        # counts[d] for d in 0..n//2 (0 = token at home).
+        self.counts = np.zeros(n // 2 + 1, dtype=np.int64)
+        self.snapshots = 0
+
+    def add(self, lengths: np.ndarray) -> None:
+        """Accumulate one snapshot of link lengths."""
+        self.counts += np.bincount(lengths, minlength=self.counts.size)
+        self.snapshots += 1
+
+    def pmf(self, *, drop_home: bool = True) -> np.ndarray:
+        """Empirical pmf over distances ``1..⌊n/2⌋`` (index 0 = distance 1).
+
+        ``drop_home=True`` conditions on the token being away from home,
+        matching the harmonic reference (which has no mass at distance 0).
+        """
+        counts = self.counts[1:] if drop_home else self.counts
+        total = counts.sum()
+        if total == 0:
+            raise ValueError("no samples accumulated")
+        return counts / total
+
+    @property
+    def home_fraction(self) -> float:
+        """Fraction of samples with the token at home (distance 0)."""
+        total = self.counts.sum()
+        return float(self.counts[0] / total) if total else 0.0
+
+
+def collect_length_histogram(
+    process: RingMoveForgetProcess,
+    *,
+    warmup: int,
+    samples: int,
+    sample_every: int = 1,
+) -> LengthHistogram:
+    """Run *process* and accumulate its link-length distribution.
+
+    Parameters
+    ----------
+    warmup:
+        Steps discarded before sampling starts (burn-in toward
+        stationarity).
+    samples:
+        Number of snapshots accumulated.
+    sample_every:
+        Steps between consecutive snapshots (thinning).
+    """
+    if warmup < 0 or samples <= 0 or sample_every <= 0:
+        raise ValueError("warmup >= 0, samples > 0, sample_every > 0 required")
+    process.run(warmup)
+    hist = LengthHistogram(process.n)
+    for _ in range(samples):
+        process.run(sample_every)
+        hist.add(process.link_lengths())
+    return hist
+
+
+def collect_age_samples(
+    process: RingMoveForgetProcess,
+    *,
+    warmup: int,
+    samples: int,
+    sample_every: int = 1,
+) -> np.ndarray:
+    """Run *process* and collect token-age snapshots (flattened)."""
+    if warmup < 0 or samples <= 0 or sample_every <= 0:
+        raise ValueError("warmup >= 0, samples > 0, sample_every > 0 required")
+    process.run(warmup)
+    out = np.empty(samples * process.n, dtype=np.int64)
+    for i in range(samples):
+        process.run(sample_every)
+        out[i * process.n : (i + 1) * process.n] = process.ages
+    return out
+
+
+def age_survival_empirical(
+    ages: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Empirical ``Pr[age ≥ threshold]`` at each threshold."""
+    ages = np.sort(np.asarray(ages))
+    idx = np.searchsorted(ages, np.asarray(thresholds), side="left")
+    return 1.0 - idx / ages.size
+
+
+def age_survival_reference(
+    thresholds: np.ndarray, epsilon: float, horizon: int
+) -> np.ndarray:
+    """Stationary-age survival implied by the closed-form lifetime law.
+
+    For a renewal process observed at a time horizon T after a cold start
+    (all tokens fresh), ``Pr[age ≥ a]`` is the renewal-age distribution
+    truncated at T.  We approximate the untruncated stationary form
+    ``Pr[age ≥ a] = Σ_{x ≥ a} S(x) / E[L]`` with sums cut at *horizon* —
+    adequate for comparing the measured tail shape in E11 (the measured
+    process is itself truncated at its step count).
+    """
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    xs = np.arange(1, horizon + 1)
+    s = survival_array(xs, epsilon)
+    cum_from = np.concatenate([np.cumsum(s[::-1])[::-1], [0.0]])  # tail sums
+    total = cum_from[0]
+    clipped = np.clip(thresholds, 1, horizon + 1)
+    return cum_from[clipped - 1] / total

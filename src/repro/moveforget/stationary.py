@@ -1,0 +1,108 @@
+"""Exact sampling of the move-and-forget stationary state.
+
+Running the process to stationarity is infeasible for long links (a link
+of length d needs ~d² surviving steps, and the heavy-tailed age law puts
+most stationary mass at astronomically large ages — see docs/THEORY.md
+§2).  But the stationary law is *exactly samplable*:
+
+1. draw the observed **age** A from the renewal-age distribution
+   ``Pr[A = a] = Pr[L > a] / E[L]`` using the closed-form survival;
+2. draw the **displacement** after A steps of a ±1 walk exactly:
+   ``2·Binomial(A, ½) − A``, wrapped on the ring;
+3. ages beyond a cap (default n², the walk's mixing time on Z_n) place
+   the token **uniformly** — at that age the wrapped walk is
+   indistinguishable from uniform, and the closed-form tail gives the cap
+   its exact probability mass.
+
+The sampler therefore produces (age, position) pairs from the true
+stationary joint distribution up to the wrap-approximation at the cap —
+which experiment E4's extension uses to cross-validate both the process
+implementation and the theory notes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forget import DEFAULT_EPSILON, survival_array
+
+__all__ = ["stationary_age_table", "sample_stationary_ages", "sample_stationary_links"]
+
+
+def stationary_age_table(
+    max_age: int, epsilon: float = DEFAULT_EPSILON
+) -> tuple[np.ndarray, float]:
+    """Renewal-age cdf on ``0..max_age−1`` plus the tail mass beyond.
+
+    Returns ``(cdf, tail)`` where ``cdf[a]`` is the (unconditional)
+    probability of observing age ≤ a, and ``tail = Pr[A ≥ max_age]``.
+    ``Pr[A = a] ∝ Pr[L > a] = survival(a+1)``; the infinite normalizer
+    ``E[L]`` is evaluated as the head sum plus the integral tail
+    ``2(ln 2)^{1+ε}/(ε ln^ε x)`` (exact for the continuous relaxation).
+    """
+    if max_age < 4:
+        raise ValueError("max_age must be at least 4")
+    ages = np.arange(max_age)
+    weights = survival_array(ages + 1, epsilon)  # Pr[L > a]
+    head = float(weights.sum())
+    ln2 = np.log(2.0)
+    tail_mass = 2.0 * ln2 ** (1.0 + epsilon) / (epsilon * np.log(max_age) ** epsilon)
+    total = head + tail_mass
+    cdf = np.cumsum(weights) / total
+    return cdf, tail_mass / total
+
+
+def sample_stationary_ages(
+    n: int,
+    size: int,
+    rng: np.random.Generator,
+    epsilon: float = DEFAULT_EPSILON,
+    *,
+    age_cap: int | None = None,
+) -> np.ndarray:
+    """Draw renewal ages, with ages ≥ cap reported as exactly the cap.
+
+    The cap defaults to n² (the ±1 walk's mixing time on the ring): a
+    token older than that is uniformly placed, so its exact age no longer
+    matters for the link distribution.
+    """
+    if n < 2 or size < 0:
+        raise ValueError("need n >= 2 and size >= 0")
+    cap = age_cap if age_cap is not None else min(n * n, 4_000_000)
+    cdf, _ = stationary_age_table(cap, epsilon)
+    u = rng.random(size)
+    ages = np.searchsorted(cdf, u, side="right")
+    return np.minimum(ages, cap).astype(np.int64)
+
+
+def sample_stationary_links(
+    n: int,
+    rng: np.random.Generator,
+    epsilon: float = DEFAULT_EPSILON,
+    *,
+    age_cap: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One stationary (age, position) pair per ring node.
+
+    Returns ``(ages, positions)`` with ``positions[i]`` the token position
+    (= long-range target rank) of owner ``i``.  Tokens at the age cap are
+    uniform; younger tokens sit at an exact binomial displacement from
+    home, wrapped on the ring.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    cap = age_cap if age_cap is not None else min(n * n, 4_000_000)
+    ages = sample_stationary_ages(n, n, rng, epsilon, age_cap=cap)
+    owners = np.arange(n, dtype=np.int64)
+    positions = owners.copy()
+
+    capped = ages >= cap
+    if capped.any():
+        positions[capped] = rng.integers(0, n, size=int(capped.sum()))
+    walking = ~capped
+    if walking.any():
+        a = ages[walking]
+        # Exact ±1 walk displacement: 2·Binomial(a, ½) − a.
+        disp = 2 * rng.binomial(a, 0.5) - a
+        positions[walking] = (owners[walking] + disp) % n
+    return ages, positions

@@ -1,0 +1,108 @@
+"""Greedy routing on the 2-dimensional torus (the paper's future work).
+
+The conclusion calls multidimensional self-stabilizing small-world graphs
+"a direct extension of this paper".  The substrate already generalizes
+(:class:`repro.moveforget.process.LatticeMoveForgetProcess`); this module
+supplies the matching routing kernel so experiment E14 can check that the
+move-and-forget law is navigable in two dimensions as well.
+
+Nodes are the ``m × m`` torus ``Z_m²`` (flattened row-major); every node
+has its four lattice neighbors plus one long-range link.  Greedy forwards
+to whichever neighbor minimizes the L1 torus distance to the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["torus_l1_distance", "greedy_route_torus", "harmonic2d_lrl"]
+
+
+def torus_l1_distance(a: np.ndarray, b: np.ndarray, m: int) -> np.ndarray:
+    """L1 distance between flat indices *a* and *b* on the ``m×m`` torus."""
+    ax, ay = a // m, a % m
+    bx, by = b // m, b % m
+    dx = np.abs(ax - bx)
+    dy = np.abs(ay - by)
+    return np.minimum(dx, m - dx) + np.minimum(dy, m - dy)
+
+
+def greedy_route_torus(
+    m: int,
+    lrl: np.ndarray | None,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    max_hops: int | None = None,
+) -> np.ndarray:
+    """Hop counts of greedy routing on ``Z_m²`` with optional shortcuts.
+
+    ``lrl`` maps each flat index to its long-range target (or ``None`` for
+    the bare lattice).  A lattice move always reduces the distance by one,
+    so the walk provably terminates within ``m`` hops (the torus diameter).
+    """
+    if m < 2:
+        raise ValueError("torus side must be at least 2")
+    n = m * m
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.shape != targets.shape:
+        raise ValueError("sources and targets must have the same shape")
+    if sources.size and (
+        sources.min() < 0 or sources.max() >= n or targets.min() < 0 or targets.max() >= n
+    ):
+        raise ValueError("flat indices must lie in [0, m*m)")
+    if lrl is not None:
+        lrl = np.asarray(lrl, dtype=np.int64)
+        if lrl.shape != (n,):
+            raise ValueError(f"lrl must have shape ({n},)")
+    cap = max_hops if max_hops is not None else 2 * m
+
+    hops = np.zeros(sources.shape, dtype=np.int64)
+    cur = sources.copy()
+    active = np.flatnonzero(cur != targets)
+    for _ in range(cap):
+        if active.size == 0:
+            return hops
+        c = cur[active]
+        t = targets[active]
+        x, y = c // m, c % m
+        neighbors = np.stack(
+            [
+                ((x + 1) % m) * m + y,
+                ((x - 1) % m) * m + y,
+                x * m + (y + 1) % m,
+                x * m + (y - 1) % m,
+            ]
+        )
+        dists = np.stack([torus_l1_distance(nb, t, m) for nb in neighbors])
+        pick = dists.argmin(axis=0)
+        best = neighbors[pick, np.arange(c.size)]
+        best_d = dists[pick, np.arange(c.size)]
+        if lrl is not None:
+            shortcut = lrl[c]
+            d_short = torus_l1_distance(shortcut, t, m)
+            use = d_short < best_d
+            best = np.where(use, shortcut, best)
+        cur[active] = best
+        hops[active] += 1
+        active = active[best != t]
+    raise RuntimeError(f"torus greedy routing did not finish within {cap} hops")
+
+
+def harmonic2d_lrl(m: int, rng: np.random.Generator) -> np.ndarray:
+    """Static 2-harmonic links: ``Pr[offset] ∝ dist^{-2}`` (Kleinberg, k=2).
+
+    The ball of radius d in ``Z²`` has Θ(d²) nodes, so the inverse-ball
+    distribution of [4] is the inverse-square law here.
+    """
+    if m < 2:
+        raise ValueError("torus side must be at least 2")
+    n = m * m
+    offsets = np.arange(1, n)  # non-zero flat offsets
+    d = torus_l1_distance(offsets, np.zeros_like(offsets), m)
+    w = d.astype(np.float64) ** -2.0
+    cdf = np.cumsum(w / w.sum())
+    cdf[-1] = 1.0
+    picks = np.searchsorted(cdf, rng.random(n), side="right")
+    return (np.arange(n, dtype=np.int64) + offsets[picks]) % n

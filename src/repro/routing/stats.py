@@ -1,0 +1,68 @@
+"""Hop-count aggregation helpers shared by the routing experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hops_by_distance", "log_bins"]
+
+
+def log_bins(max_value: int, *, bins_per_decade: int = 4) -> np.ndarray:
+    """Logarithmically spaced integer bin edges ``[1, …, max_value]``.
+
+    Deduplicated so small distances get exact bins; used to aggregate
+    hop counts over exponentially growing distance ranges (E3/E5's tables
+    have one row per bin).
+    """
+    if max_value < 1:
+        raise ValueError("max_value must be at least 1")
+    count = max(2, int(np.ceil(np.log10(max_value + 1) * bins_per_decade)) + 1)
+    edges = np.unique(
+        np.round(np.logspace(0, np.log10(max_value), count)).astype(np.int64)
+    )
+    if edges[-1] < max_value:
+        edges = np.append(edges, max_value)
+    return edges
+
+
+def hops_by_distance(
+    hops: np.ndarray,
+    distances: np.ndarray,
+    *,
+    bins_per_decade: int = 4,
+) -> list[dict[str, float]]:
+    """Aggregate hop counts into log-spaced distance bins.
+
+    Returns one row per non-empty bin with keys ``d_lo``, ``d_hi``,
+    ``count``, ``mean_hops``, ``p95_hops``, ``max_hops`` — the row format
+    the benchmark harness prints.
+    """
+    hops = np.asarray(hops)
+    distances = np.asarray(distances)
+    if hops.shape != distances.shape:
+        raise ValueError("hops and distances must have the same shape")
+    if hops.size == 0:
+        return []
+    positive = distances >= 1
+    hops = hops[positive]
+    distances = distances[positive]
+    if hops.size == 0:
+        return []
+    edges = log_bins(int(distances.max()), bins_per_decade=bins_per_decade)
+    rows: list[dict[str, float]] = []
+    for lo, hi in zip(edges, edges[1:]):
+        mask = (distances >= lo) & (distances < hi if hi != edges[-1] else distances <= hi)
+        if not mask.any():
+            continue
+        h = hops[mask]
+        rows.append(
+            {
+                "d_lo": float(lo),
+                "d_hi": float(hi),
+                "count": float(h.size),
+                "mean_hops": float(h.mean()),
+                "p95_hops": float(np.percentile(h, 95)),
+                "max_hops": float(h.max()),
+            }
+        )
+    return rows

@@ -1,0 +1,109 @@
+"""Adversarial schedulers: stress the fairness assumptions to their edge.
+
+Self-stabilization must hold under *every* fair schedule, not just
+uniform ones.  These schedulers bias execution as far as fairness allows:
+
+* :class:`DelayAdversary` — every message sits in its channel for up to
+  ``max_delay`` extra rounds before becoming deliverable (a deterministic
+  per-message delay drawn adversarially from the message hash, so
+  re-ordering is maximal but reproducible).  Fair receipt holds because
+  delays are bounded.
+* :class:`StarvationAdversary` — a target fraction of nodes is "slow":
+  they execute their regular action only every ``period`` rounds and
+  receive only then (their channels back up in between).  Weak fairness
+  holds because they do act infinitely often.
+
+The adversarial integration tests assert full stabilization under both —
+empirical evidence for the paper's model-level claim that only *fairness*
+(not timing) is required.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.sim.network import Network
+from repro.sim.schedulers import SynchronousScheduler
+
+__all__ = ["DelayAdversary", "StarvationAdversary"]
+
+
+class DelayAdversary:
+    """Bounded per-message delivery delays with maximal reordering."""
+
+    def __init__(self, *, max_delay: int = 5) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_delay = max_delay
+        self._held: list[tuple[int, float, object]] = []  # (due, dest, msg)
+        self._round = 0
+
+    def _delay_for(self, dest: float, message: object) -> int:
+        if self.max_delay == 0:
+            return 0
+        digest = zlib.crc32(repr((dest, message)).encode())
+        return digest % (self.max_delay + 1)
+
+    def execute_round(self, network: Network, rng: np.random.Generator) -> None:
+        # Intercept everything currently staged: hold each message until
+        # its adversarial due-round, then re-stage it.
+        staged = network._staging  # noqa: SLF001 - adversary is a test harness
+        network._staging = []
+        for dest, message in staged:
+            due = self._round + self._delay_for(dest, message)
+            self._held.append((due, dest, message))
+        release = [(d, m) for due, d, m in self._held if due <= self._round]
+        self._held = [(due, d, m) for due, d, m in self._held if due > self._round]
+        network._staging = list(release)
+
+        SynchronousScheduler().execute_round(network, rng)
+        self._round += 1
+
+
+class StarvationAdversary:
+    """A fraction of nodes acts only every ``period`` rounds."""
+
+    def __init__(
+        self,
+        *,
+        slow_fraction: float = 0.3,
+        period: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 <= slow_fraction <= 1.0):
+            raise ValueError("slow_fraction must be in [0, 1]")
+        if period < 1:
+            raise ValueError("period must be positive")
+        self.slow_fraction = slow_fraction
+        self.period = period
+        self._pick_rng = np.random.default_rng(seed)
+        self._slow: set[float] | None = None
+        self._round = 0
+
+    def _slow_set(self, network: Network) -> set[float]:
+        if self._slow is None:
+            ids = network.ids
+            k = int(self.slow_fraction * len(ids))
+            picks = self._pick_rng.choice(len(ids), size=k, replace=False)
+            self._slow = {ids[int(i)] for i in picks}
+        return self._slow
+
+    def execute_round(self, network: Network, rng: np.random.Generator) -> None:
+        slow = self._slow_set(network)
+        active_slow = self._round % self.period == 0
+        network.flush()
+        ids = network.ids
+        order = rng.permutation(len(ids))
+        for i in order:
+            nid = ids[i]
+            if nid not in network:
+                continue
+            if nid in slow and not active_slow:
+                continue  # starved this round: no receive, no regular action
+            node = network.node(nid)
+            for message in network.channel(nid).drain(rng):
+                node.on_message(message, network.send, rng)
+            node.regular_action(network.send, rng)
+        self._round += 1

@@ -1,0 +1,122 @@
+"""Unbounded, non-FIFO message channels (paper §II-B).
+
+"We assume that the channel's capacity is unbounded and no messages are
+lost, but the order of the receipts does not have to match the order of
+transmission."
+
+Two delivery semantics are provided:
+
+* **multiset** (``dedup=False``) — every sent message is delivered exactly
+  once; duplicates are preserved.  This is the paper's literal model.
+* **coalescing set** (``dedup=True``, the default for experiments) —
+  identical pending messages are merged.  All protocol handlers are
+  idempotent with respect to identical payloads (receiving ``lin(x)`` twice
+  in a row has the same effect on stored state as receiving it once), so
+  coalescing preserves reachability of every protocol state while keeping
+  channel sizes bounded by the number of distinct payloads.  DESIGN.md §4.7
+  records this as an explicitly-tested optimization.
+
+Delivery order is randomized by the scheduler, which models the non-FIFO
+assumption; :meth:`Channel.drain` returns a random permutation of the
+pending messages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.messages import Message
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """The incoming-message channel ``p.C`` of a single node."""
+
+    __slots__ = ("_dedup", "_messages", "_set")
+
+    def __init__(self, *, dedup: bool = True) -> None:
+        self._dedup = dedup
+        self._messages: list[Message] = []
+        # Mirror set used only in dedup mode for O(1) membership checks.
+        self._set: set[Message] | None = set() if dedup else None
+
+    @property
+    def dedup(self) -> bool:
+        """Whether identical pending messages are coalesced."""
+        return self._dedup
+
+    def put(self, message: Message) -> bool:
+        """Enqueue *message*.
+
+        Returns ``True`` if the message was added, ``False`` if it was
+        coalesced with an identical pending message (dedup mode only).
+        """
+        if self._set is not None:
+            if message in self._set:
+                return False
+            self._set.add(message)
+        self._messages.append(message)
+        return True
+
+    def drain(self, rng: np.random.Generator) -> list[Message]:
+        """Remove and return *all* pending messages in random order.
+
+        The random permutation realizes the non-FIFO channel: any pending
+        message may be received before any other.  Fair receipt holds
+        trivially because the whole channel is drained.
+        """
+        msgs = self._messages
+        if not msgs:
+            return []
+        self._messages = []
+        if self._set is not None:
+            self._set = set()
+        if len(msgs) > 1:
+            order = rng.permutation(len(msgs))
+            msgs = [msgs[i] for i in order]
+        return msgs
+
+    def pop_random(self, rng: np.random.Generator) -> Message:
+        """Remove and return one uniformly random pending message.
+
+        Used by the asynchronous scheduler.  Raises :class:`IndexError` on
+        an empty channel.
+        """
+        if not self._messages:
+            raise IndexError("pop from empty channel")
+        i = int(rng.integers(len(self._messages)))
+        # Swap-remove keeps this O(1).
+        self._messages[i], self._messages[-1] = self._messages[-1], self._messages[i]
+        msg = self._messages.pop()
+        if self._set is not None:
+            self._set.discard(msg)
+        return msg
+
+    def peek_all(self) -> list[Message]:
+        """Return the pending messages without removing them.
+
+        Used by the connectivity views (LCC/RCC include identifiers carried
+        by in-flight messages, Definition 4.2).
+        """
+        return list(self._messages)
+
+    def clear(self) -> None:
+        """Discard every pending message (used when a node leaves)."""
+        self._messages.clear()
+        if self._set is not None:
+            self._set = set()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._messages)
+
+    def __repr__(self) -> str:
+        return f"Channel({len(self._messages)} pending, dedup={self._dedup})"

@@ -1,0 +1,129 @@
+"""Fault injection: stress the protocol beyond the paper's model.
+
+The paper assumes lossless channels and uncorrupted executions; a
+self-stabilizing protocol should nevertheless shrug off transient
+violations, because any post-fault configuration is just another initial
+state.  This module injects three fault classes used by the
+failure-injection tests and the adversarial examples:
+
+* **message loss** (:class:`LossyNetwork`) — every sent message is dropped
+  with probability ``loss_rate``.  The regular action re-advertises all
+  *stored* links every round, so losses of advertisement traffic merely
+  slow convergence.  But the protocol's connectivity preservation replaces
+  links by *in-flight* copies during linearization (a displaced neighbor
+  or a re-injected forgotten endpoint exists, transiently, only inside one
+  message) — if that one message is lost, the identifier is gone and the
+  network can disconnect **permanently**.  Moderate loss rates converge
+  with overwhelming probability (each handoff is one Bernoulli trial and
+  most identifiers are stored redundantly); high loss rates demonstrably
+  split the network (see ``examples/lossy_network.py``).  The lossless
+  channel is therefore a *load-bearing* model assumption, not a
+  convenience — a fact worth measuring.
+* **pointer corruption** (:func:`corrupt_random_pointers`) — a transient
+  adversary scrambles ``l``/``r``/``lrl``/``ring``/``age`` of a node
+  fraction, preserving only the hard model invariant ``l < id < r``.
+* **crash-restart** (:func:`crash_restart`) — a node loses its entire
+  state (fresh :class:`~repro.core.state.NodeState`, token at home) but
+  keeps its identifier, modeling a process restart from a blank disk.
+  Neighbors still point at it, so weak connectivity survives and
+  stabilization re-integrates it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.messages import Message
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, POS_INF
+from repro.sim.network import Network
+
+__all__ = ["LossyNetwork", "corrupt_random_pointers", "crash_restart"]
+
+
+class LossyNetwork(Network):
+    """A network whose sends are dropped i.i.d. with ``loss_rate``.
+
+    Violates the paper's lossless-channel assumption on purpose.  Losses
+    are counted in :attr:`lost`.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable = (),
+        *,
+        loss_rate: float,
+        rng: np.random.Generator,
+        dedup: bool = True,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        super().__init__(nodes, dedup=dedup)
+        self.loss_rate = loss_rate
+        self._loss_rng = rng
+        #: Messages destroyed by the fault (not counted in ``dropped``).
+        self.lost = 0
+
+    def send(self, dest: float, message: Message) -> None:
+        if self._loss_rng.random() < self.loss_rate:
+            self.stats.record_send(message.type)
+            self.lost += 1
+            return
+        super().send(dest, message)
+
+
+def corrupt_random_pointers(
+    network: Network,
+    fraction: float,
+    rng: np.random.Generator,
+    *,
+    corrupt_list_links: bool = True,
+) -> int:
+    """Scramble the pointers of ``⌊fraction·n⌋`` random nodes; returns count.
+
+    ``l``/``r`` are redirected to random order-respecting identifiers (only
+    when ``corrupt_list_links``), ``lrl``/``ring`` to arbitrary ones, and
+    ``age`` randomized — the transient-fault model of self-stabilization.
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    ids = network.ids
+    n = len(ids)
+    count = int(fraction * n)
+    if count == 0:
+        return 0
+    victims = rng.choice(n, size=count, replace=False)
+    for v in victims:
+        state = network.node(ids[int(v)]).state
+        if corrupt_list_links:
+            smaller = [i for i in ids if i < state.id]
+            larger = [i for i in ids if i > state.id]
+            state.corrupt(
+                l=smaller[int(rng.integers(len(smaller)))] if smaller else None,
+                r=larger[int(rng.integers(len(larger)))] if larger else None,
+            )
+        state.corrupt(
+            lrl=ids[int(rng.integers(n))],
+            ring=ids[int(rng.integers(n))],
+            age=int(rng.integers(0, 1000)),
+        )
+    return count
+
+
+def crash_restart(network: Network, node_id: float) -> None:
+    """Reset *node_id* to a blank state (identifier preserved).
+
+    The restarted node knows nobody (``l = −∞``, ``r = +∞``, token at
+    home, no ring); re-integration relies on its former neighbors still
+    pointing at it.
+    """
+    state = network.node(node_id).state
+    state.l = NEG_INF
+    state.r = POS_INF
+    state.lrl = state.id
+    state.ring = None
+    state.age = 0
+    # Its pending messages are part of the lost volatile state.
+    network.channel(node_id).clear()

@@ -1,0 +1,93 @@
+"""Runtime invariant checking: the model's guarantees, asserted every round.
+
+The compare-store-send theorems the paper leans on (Theorems 1–2 of [18])
+promise that, with a weakly connected start, *messages only contain
+existing identifiers*.  Together with the variable definitions of §III
+this gives a machine-checkable invariant set:
+
+* every stored ``l``/``r``/``lrl``/``ring`` is a current member identifier
+  (or the proper sentinel/None), with ``l < id < r``;
+* every identifier inside an in-flight message is a current member;
+* ages are non-negative; channels in dedup mode hold no duplicates.
+
+:class:`InvariantChecker` wraps a scheduler and asserts all of it after
+every round — the simulator's "paranoid mode", used by the integration
+tests.  Churn legitimately breaks the membership clauses *transiently*
+(until purges run), so checks can be suspended around churn events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ids import NEG_INF, POS_INF, is_real
+from repro.sim.network import Network
+from repro.sim.schedulers import Scheduler
+
+__all__ = ["InvariantViolation", "check_network_invariants", "InvariantChecker"]
+
+
+class InvariantViolation(AssertionError):
+    """A model invariant failed; the message says which and where."""
+
+
+def check_network_invariants(
+    network: Network, *, check_membership: bool = True
+) -> None:
+    """Assert every model invariant on *network*; raise on violation."""
+    members = set(network.ids)
+    for nid, state in network.states().items():
+        if not (0.0 <= state.id < 1.0):
+            raise InvariantViolation(f"node id {state.id!r} outside [0,1)")
+        if state.l != NEG_INF and not state.l < state.id:
+            raise InvariantViolation(f"{nid}: l={state.l} not < id")
+        if state.r != POS_INF and not state.r > state.id:
+            raise InvariantViolation(f"{nid}: r={state.r} not > id")
+        if state.age < 0:
+            raise InvariantViolation(f"{nid}: negative age {state.age}")
+        if check_membership:
+            for label, target in (
+                ("l", state.l),
+                ("r", state.r),
+                ("lrl", state.lrl),
+                ("ring", state.ring),
+            ):
+                if target is None or not is_real(target):
+                    continue
+                if target not in members:
+                    raise InvariantViolation(
+                        f"{nid}: stored {label}={target} is not a member"
+                    )
+    if check_membership:
+        for dest, message in network.in_flight:
+            if dest not in members:
+                raise InvariantViolation(
+                    f"in-flight {message!r} addressed to non-member {dest}"
+                )
+            for payload in message.ids:
+                if is_real(payload) and payload not in members:
+                    raise InvariantViolation(
+                        f"in-flight {message!r} carries non-member {payload}"
+                    )
+    # Dedup-channel integrity: no duplicates pending.
+    for nid in network.ids:
+        channel = network.channel(nid)
+        if channel.dedup:
+            pending = channel.peek_all()
+            if len(pending) != len(set(pending)):
+                raise InvariantViolation(f"{nid}: duplicate messages in channel")
+
+
+class InvariantChecker:
+    """A scheduler wrapper asserting invariants after every round."""
+
+    def __init__(self, inner: Scheduler, *, check_membership: bool = True) -> None:
+        self.inner = inner
+        self.check_membership = check_membership
+        #: Rounds checked so far.
+        self.checked = 0
+
+    def execute_round(self, network: Network, rng: np.random.Generator) -> None:
+        self.inner.execute_round(network, rng)
+        check_network_invariants(network, check_membership=self.check_membership)
+        self.checked += 1

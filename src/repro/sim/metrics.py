@@ -1,0 +1,105 @@
+"""Instrumentation: message counters and convergence recorders.
+
+The paper's efficiency results (§IV-F, §IV-G) are stated in terms of the
+*number of messages sent* — "the costs of a network recovery for such an
+update, counted in the number of messages sent, are polylogarithmic."  The
+:class:`MessageStats` counter therefore tracks sends by message type and by
+round, which is exactly what experiments E6–E8 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import MessageType
+
+__all__ = ["MessageStats", "ConvergenceRecorder"]
+
+
+class MessageStats:
+    """Counts of messages sent, by type, overall and for the current round."""
+
+    __slots__ = ("_totals", "_round_counts", "_per_round_history", "_keep_history")
+
+    def __init__(self, *, keep_history: bool = False) -> None:
+        self._totals: dict[MessageType, int] = {t: 0 for t in MessageType}
+        self._round_counts: dict[MessageType, int] = {t: 0 for t in MessageType}
+        self._keep_history = keep_history
+        self._per_round_history: list[dict[MessageType, int]] = []
+
+    def record_send(self, mtype: MessageType) -> None:
+        """Count one sent message of the given type."""
+        self._totals[mtype] += 1
+        self._round_counts[mtype] += 1
+
+    def end_round(self) -> dict[MessageType, int]:
+        """Close the current round; returns (and optionally archives) its counts."""
+        counts = dict(self._round_counts)
+        if self._keep_history:
+            self._per_round_history.append(counts)
+        self._round_counts = {t: 0 for t in MessageType}
+        return counts
+
+    @property
+    def total(self) -> int:
+        """Total messages sent since construction (or the last reset)."""
+        return sum(self._totals.values())
+
+    @property
+    def totals_by_type(self) -> dict[MessageType, int]:
+        """Total messages sent, keyed by message type."""
+        return dict(self._totals)
+
+    @property
+    def current_round_total(self) -> int:
+        """Messages sent in the (not yet closed) current round."""
+        return sum(self._round_counts.values())
+
+    @property
+    def history(self) -> list[dict[MessageType, int]]:
+        """Archived per-round counts (requires ``keep_history=True``)."""
+        return list(self._per_round_history)
+
+    def reset(self) -> None:
+        """Zero every counter and drop archived history."""
+        self._totals = {t: 0 for t in MessageType}
+        self._round_counts = {t: 0 for t in MessageType}
+        self._per_round_history = []
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{t.value}={c}" for t, c in self._totals.items() if c
+        )
+        return f"MessageStats({parts or 'empty'})"
+
+
+@dataclass
+class ConvergenceRecorder:
+    """Records the first round at which each named predicate became true.
+
+    The self-stabilization analysis is phase-based (Theorems 4.3, 4.9, 4.18,
+    4.22); experiment E1 reports, per run, the round at which each phase
+    predicate was first observed.  :meth:`observe` is monotone: once a
+    predicate has been recorded it keeps its first round even if the
+    predicate is later violated — violations are reported separately via
+    :attr:`regressions`, which experiment E2 asserts to be empty after
+    stabilization (the closure property).
+    """
+
+    first_round: dict[str, int] = field(default_factory=dict)
+    regressions: list[tuple[str, int]] = field(default_factory=list)
+
+    def observe(self, name: str, holds: bool, round_index: int) -> None:
+        """Record the predicate *name* evaluated at *round_index*."""
+        if holds:
+            self.first_round.setdefault(name, round_index)
+        elif name in self.first_round:
+            self.regressions.append((name, round_index))
+
+    def converged(self, name: str) -> bool:
+        """Whether *name* has ever held."""
+        return name in self.first_round
+
+    def round_of(self, name: str) -> int | None:
+        """First round at which *name* held, or ``None``."""
+        return self.first_round.get(name)

@@ -1,0 +1,193 @@
+"""The simulated overlay network: processes, channels, and message routing.
+
+A :class:`Network` owns the set of protocol nodes and one :class:`Channel`
+per node, stages outgoing messages (messages sent during a round become
+receivable in the next round — this is how the simulator keeps every
+execution finite per round while remaining a legal schedule of the paper's
+asynchronous model), and maintains the :class:`~repro.sim.metrics.MessageStats`
+counters used by the efficiency experiments.
+
+Churn (experiments E6/E7) is supported first-class: nodes can join and
+leave at any round boundary; messages addressed to departed nodes are
+dropped, which models the paper's "when a node u leaves the network, it
+disappears from it and the connections it had to and from other nodes also
+disappear".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.core.messages import Message
+from repro.ids import require_id
+from repro.sim.channel import Channel
+from repro.sim.metrics import MessageStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.node import Node
+    from repro.core.state import NodeState
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The set of simulated processes and their channels."""
+
+    def __init__(
+        self,
+        nodes: Iterable["Node"] = (),
+        *,
+        dedup: bool = True,
+        keep_history: bool = False,
+    ) -> None:
+        self._nodes: dict[float, "Node"] = {}
+        self._channels: dict[float, Channel] = {}
+        self._staging: list[tuple[float, Message]] = []
+        self._dedup = dedup
+        self.stats = MessageStats(keep_history=keep_history)
+        #: Messages sent to identifiers that no longer exist (dropped).
+        self.dropped = 0
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_node(self, node: "Node") -> None:
+        """Add *node* to the network with an empty channel."""
+        nid = require_id(node.state.id, what="node id")
+        if nid in self._nodes:
+            raise ValueError(f"duplicate node id {nid!r}")
+        self._nodes[nid] = node
+        self._channels[nid] = Channel(dedup=self._dedup)
+
+    def remove_node(self, node_id: float) -> "Node":
+        """Remove the node with *node_id*; its pending messages are lost."""
+        if node_id not in self._nodes:
+            raise KeyError(f"no node with id {node_id!r}")
+        node = self._nodes.pop(node_id)
+        self._channels.pop(node_id).clear()
+        # Staged messages addressed to the departed node are dropped too.
+        before = len(self._staging)
+        self._staging = [(d, m) for d, m in self._staging if d != node_id]
+        self.dropped += before - len(self._staging)
+        return node
+
+    def __contains__(self, node_id: float) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator["Node"]:
+        return iter(self._nodes.values())
+
+    @property
+    def ids(self) -> list[float]:
+        """All current node identifiers, sorted ascending."""
+        return sorted(self._nodes)
+
+    def node(self, node_id: float) -> "Node":
+        """Return the node with the given identifier."""
+        return self._nodes[node_id]
+
+    def channel(self, node_id: float) -> Channel:
+        """Return the channel of the node with the given identifier."""
+        return self._channels[node_id]
+
+    def states(self) -> dict[float, "NodeState"]:
+        """Map every node id to its (live, not copied) protocol state."""
+        return {nid: node.state for nid, node in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dest: float, message: Message) -> None:
+        """Stage *message* for delivery to *dest* at the next flush.
+
+        Messages to unknown identifiers are counted and dropped — in a live
+        system they would sit in a dead host's mailbox; the paper's model
+        only ever addresses existing identifiers once stabilized, and during
+        churn the drop models the disappearance of the departed node.
+        """
+        self.stats.record_send(message.type)
+        if dest in self._nodes:
+            self._staging.append((dest, message))
+        else:
+            self.dropped += 1
+
+    def flush(self) -> int:
+        """Deliver every staged message into its destination channel.
+
+        Returns the number of messages that actually entered a channel
+        (coalesced duplicates are not counted).
+        """
+        delivered = 0
+        staged, self._staging = self._staging, []
+        for dest, message in staged:
+            channel = self._channels.get(dest)
+            if channel is None:
+                self.dropped += 1
+                continue
+            if channel.put(message):
+                delivered += 1
+        return delivered
+
+    def purge_identifier(self, node_id: float) -> int:
+        """Remove every in-flight message that mentions *node_id*.
+
+        Models a clean departure (paper §IV-G): "the connections it had to
+        and from other nodes also disappear" — which includes identifier
+        copies travelling in messages, since each such copy is a temporary
+        link of the CC graph.  Without this purge, in-flight ``lin``
+        messages would re-teach the departed identifier to its former
+        neighbors forever (there is no liveness check in the model to ever
+        remove it again).  Returns the number of messages purged.
+        """
+        purged = 0
+        kept = []
+        for dest, message in self._staging:
+            if node_id in message.ids:
+                purged += 1
+            else:
+                kept.append((dest, message))
+        self._staging = kept
+        for channel in self._channels.values():
+            pending = channel.peek_all()
+            doomed = [m for m in pending if node_id in m.ids]
+            if doomed:
+                purged += len(doomed)
+                channel.clear()
+                for m in pending:
+                    if node_id not in m.ids:
+                        channel.put(m)
+        return purged
+
+    @property
+    def staged_count(self) -> int:
+        """Number of messages staged but not yet flushed."""
+        return len(self._staging)
+
+    @property
+    def in_flight(self) -> list[tuple[float, Message]]:
+        """Every undelivered message as ``(destination, message)`` pairs.
+
+        Includes both staged messages and messages already sitting in
+        channels; this is what the channel-connectivity graphs CC/LCC/RCC
+        (Definition 4.2) read.
+        """
+        out = list(self._staging)
+        for nid, channel in self._channels.items():
+            out.extend((nid, m) for m in channel.peek_all())
+        return out
+
+    def pending_total(self) -> int:
+        """Total undelivered messages (staged + in channels)."""
+        return len(self._staging) + sum(len(c) for c in self._channels.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(n={len(self._nodes)}, pending={self.pending_total()}, "
+            f"sent={self.stats.total})"
+        )

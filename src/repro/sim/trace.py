@@ -1,0 +1,108 @@
+"""Structured event traces for debugging and white-box tests.
+
+A :class:`Trace` can be attached to a :class:`~repro.core.node.Node` (via
+``ProtocolConfig.trace``) to record every send and receive with the round it
+happened in.  Traces are intentionally simple append-only lists of
+:class:`TraceEvent`; tests filter them with :meth:`Trace.sends` /
+:meth:`Trace.receives` to assert on exact protocol behavior (e.g. "the min
+node emits exactly one ``ring`` message per round once stable").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.messages import Message, MessageType
+
+__all__ = ["TraceEvent", "TraceKind", "Trace"]
+
+
+class TraceKind(enum.Enum):
+    """What a trace event records."""
+
+    SEND = "send"
+    RECEIVE = "receive"
+    FORGET = "forget"
+    MOVE = "move"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """A single protocol event.
+
+    Attributes
+    ----------
+    kind:
+        Send, receive, or a move-and-forget transition.
+    node:
+        The id of the node at which the event happened.
+    message:
+        The message involved (``None`` for move/forget transitions).
+    peer:
+        For sends, the destination id; for receives ``None`` (the channel
+        model has no sender field — messages carry ids in their payload
+        only, exactly as in the paper).
+    """
+
+    kind: TraceKind
+    node: float
+    message: Message | None = None
+    peer: float | None = None
+
+
+class Trace:
+    """Append-only protocol event log."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def sends(
+        self,
+        *,
+        node: float | None = None,
+        mtype: MessageType | None = None,
+        to: float | None = None,
+    ) -> list[TraceEvent]:
+        """Return send events filtered by origin node, type, destination."""
+        return [
+            e
+            for e in self.events
+            if e.kind is TraceKind.SEND
+            and (node is None or e.node == node)
+            and (mtype is None or (e.message is not None and e.message.type is mtype))
+            and (to is None or e.peer == to)
+        ]
+
+    def receives(
+        self, *, node: float | None = None, mtype: MessageType | None = None
+    ) -> list[TraceEvent]:
+        """Return receive events filtered by receiving node and type."""
+        return [
+            e
+            for e in self.events
+            if e.kind is TraceKind.RECEIVE
+            and (node is None or e.node == node)
+            and (mtype is None or (e.message is not None and e.message.type is mtype))
+        ]
+
+    def forgets(self, *, node: float | None = None) -> list[TraceEvent]:
+        """Return forget transitions (long-range link resets)."""
+        return [
+            e
+            for e in self.events
+            if e.kind is TraceKind.FORGET and (node is None or e.node == node)
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,42 @@
+"""Initial-configuration generators for the self-stabilization experiments.
+
+The paper's only assumption on the initial state is that the channel
+connectivity graph CC is *weakly connected* (and that messages carry only
+existing identifiers).  This package generates a zoo of such states —
+benign, skewed, and adversarial — by encoding arbitrary connected graphs
+into the nodes' four link slots (``l``, ``r``, ``lrl``, ``ring``):
+
+* :mod:`repro.topology.encode` — the graph → node-state encoder;
+* :mod:`repro.topology.generators` — the families used by E1/E2/E10
+  (line, star, clique, random tree, G(n,p), lollipop, corrupted ring, …);
+* :mod:`repro.topology.serialization` — JSON round-tripping of
+  configurations for reproducible regression cases.
+"""
+
+from repro.topology.encode import encode_graph, states_union_graph
+from repro.topology.generators import (
+    TOPOLOGIES,
+    clique_topology,
+    corrupted_ring_topology,
+    gnp_topology,
+    line_topology,
+    lollipop_topology,
+    random_tree_topology,
+    star_topology,
+)
+from repro.topology.serialization import states_from_json, states_to_json
+
+__all__ = [
+    "TOPOLOGIES",
+    "clique_topology",
+    "corrupted_ring_topology",
+    "encode_graph",
+    "gnp_topology",
+    "line_topology",
+    "lollipop_topology",
+    "random_tree_topology",
+    "star_topology",
+    "states_from_json",
+    "states_to_json",
+    "states_union_graph",
+]

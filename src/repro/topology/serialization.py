@@ -1,0 +1,76 @@
+"""JSON (de)serialization of node-state configurations.
+
+Lets experiments pin down regression cases: any initial configuration that
+ever exposed a bug is saved verbatim and replayed by the test suite.
+Sentinels are encoded as the strings ``"-inf"``/``"+inf"`` because JSON has
+no infinities.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, POS_INF
+
+__all__ = ["states_to_json", "states_from_json"]
+
+_SENTINELS = {NEG_INF: "-inf", POS_INF: "+inf"}
+_REVERSE = {"-inf": NEG_INF, "+inf": POS_INF}
+
+
+def _enc(value: float | None) -> object:
+    if value is None:
+        return None
+    return _SENTINELS.get(value, value)
+
+
+def _dec(value: object) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return _REVERSE[value]
+        except KeyError:
+            raise ValueError(f"unknown sentinel string {value!r}") from None
+    return float(value)  # type: ignore[arg-type]
+
+
+def states_to_json(states: Sequence[NodeState]) -> str:
+    """Serialize *states* to a JSON string (stable field order)."""
+    payload = [
+        {
+            "id": s.id,
+            "l": _enc(s.l),
+            "r": _enc(s.r),
+            "lrl": s.lrl,
+            "ring": _enc(s.ring),
+            "age": s.age,
+        }
+        for s in states
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def states_from_json(text: str) -> list[NodeState]:
+    """Deserialize states produced by :func:`states_to_json`.
+
+    Round-trips exactly: ids, sentinels, unset rings, and ages survive.
+    """
+    payload = json.loads(text)
+    states: list[NodeState] = []
+    for item in payload:
+        state = NodeState(id=float(item["id"]))
+        l = _dec(item["l"])
+        r = _dec(item["r"])
+        ring = _dec(item["ring"])
+        state.corrupt(
+            l=l if l is not None else None,
+            r=r if r is not None else None,
+            lrl=float(item["lrl"]),
+            ring=ring,
+            age=int(item["age"]),
+        )
+        states.append(state)
+    return states

@@ -1,0 +1,103 @@
+"""ASCII visualization of overlay states (examples, debugging, docs).
+
+Terminal-friendly renderings with zero dependencies:
+
+* :func:`render_sortedness` — one character per consecutive pair of the
+  identifier order: ``=`` mutually linked, ``>``/``<`` one-sided, ``.``
+  unlinked.  A stabilizing run shows dots turning into ``=`` left to right.
+* :func:`render_links` — a per-node line showing l/r/lrl/ring targets as
+  rank offsets.
+* :func:`render_phase_timeline` — the convergence recorder as a labelled
+  timeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.state import NodeState
+from repro.ids import is_real
+from repro.sim.metrics import ConvergenceRecorder
+
+__all__ = ["render_sortedness", "render_links", "render_phase_timeline"]
+
+
+def render_sortedness(
+    states: Sequence[NodeState] | Mapping[float, NodeState], *, width: int = 72
+) -> str:
+    """One character per consecutive identifier pair (wrapped to *width*).
+
+    ``=`` both ``a.r = b`` and ``b.l = a``; ``>`` only the forward link;
+    ``<`` only the backward link; ``.`` neither.
+    """
+    if isinstance(states, Mapping):
+        by_id = dict(states)
+    else:
+        by_id = {s.id: s for s in states}
+    ordered = sorted(by_id)
+    chars: list[str] = []
+    for a, b in zip(ordered, ordered[1:]):
+        forward = by_id[a].r == b
+        backward = by_id[b].l == a
+        if forward and backward:
+            chars.append("=")
+        elif forward:
+            chars.append(">")
+        elif backward:
+            chars.append("<")
+        else:
+            chars.append(".")
+    text = "".join(chars)
+    lines = [text[i : i + width] for i in range(0, max(len(text), 1), width)]
+    return "\n".join(lines) if text else "(single node)"
+
+
+def render_links(
+    states: Sequence[NodeState] | Mapping[float, NodeState],
+    *,
+    max_nodes: int = 32,
+) -> str:
+    """Per-node link summary in rank space (truncated to *max_nodes*)."""
+    if isinstance(states, Mapping):
+        by_id = dict(states)
+    else:
+        by_id = {s.id: s for s in states}
+    ordered = sorted(by_id)
+    rank = {v: i for i, v in enumerate(ordered)}
+
+    def show(target: float | None) -> str:
+        if target is None:
+            return "-"
+        if not is_real(target):
+            return "inf" if target > 0 else "-inf"
+        return str(rank.get(target, "?"))
+
+    lines = []
+    for v in ordered[:max_nodes]:
+        s = by_id[v]
+        lines.append(
+            f"{rank[v]:>4}: l={show(s.l):>5} r={show(s.r):>5} "
+            f"lrl={show(s.lrl):>5} ring={show(s.ring):>5} age={s.age}"
+        )
+    if len(ordered) > max_nodes:
+        lines.append(f"  … {len(ordered) - max_nodes} more nodes")
+    return "\n".join(lines)
+
+
+def render_phase_timeline(
+    recorder: ConvergenceRecorder, *, width: int = 60
+) -> str:
+    """The recorder's first-round marks as a proportional timeline."""
+    if not recorder.first_round:
+        return "(no phases recorded)"
+    last = max(recorder.first_round.values())
+    scale = width / max(last, 1)
+    lines = []
+    for name, round_index in sorted(
+        recorder.first_round.items(), key=lambda kv: kv[1]
+    ):
+        pos = int(round_index * scale)
+        lines.append(f"{'-' * pos}| {name} @ {round_index}")
+    if recorder.regressions:
+        lines.append(f"regressions: {recorder.regressions}")
+    return "\n".join(lines)

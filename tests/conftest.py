@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_ring():
+    """An 8-node legitimate sorted ring network + simulator."""
+    states = stable_ring_states(8)
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, np.random.default_rng(0))
+    return net, sim
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run slow integration tests at full size",
+    )
+
+
+@pytest.fixture()
+def slow(request) -> bool:
+    return bool(request.config.getoption("--slow"))

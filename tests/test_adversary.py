@@ -1,0 +1,92 @@
+"""Adversarial-scheduler integration tests.
+
+Stabilization must survive bounded message delays and node starvation —
+the schedules at the edge of the paper's fairness assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.predicates import is_sorted_ring
+from repro.sim.adversary import DelayAdversary, StarvationAdversary
+from repro.sim.engine import Simulator
+from repro.topology.generators import TOPOLOGIES
+
+
+def stabilize_with(scheduler, name="random_tree", n=24, seed=0, max_rounds=20_000):
+    rng = np.random.default_rng(seed)
+    net = build_network(TOPOLOGIES[name](n, rng), ProtocolConfig())
+    sim = Simulator(net, rng, scheduler=scheduler)
+    rounds = sim.run_until(
+        lambda nw: is_sorted_ring(nw.states()),
+        max_rounds=max_rounds,
+        what=f"{type(scheduler).__name__} {name}",
+    )
+    return net, rounds
+
+
+class TestDelayAdversary:
+    @pytest.mark.parametrize("delay", [1, 3, 8])
+    def test_stabilizes_under_bounded_delays(self, delay):
+        net, rounds = stabilize_with(DelayAdversary(max_delay=delay), seed=delay)
+        assert is_sorted_ring(net.states())
+
+    def test_delays_actually_slow_things_down(self):
+        _, fast = stabilize_with(DelayAdversary(max_delay=0), seed=5)
+        _, slow = stabilize_with(DelayAdversary(max_delay=8), seed=5)
+        assert slow >= fast
+
+    def test_zero_delay_equals_synchronous(self):
+        """max_delay=0 must behave exactly like the plain scheduler."""
+        from repro.sim.schedulers import SynchronousScheduler
+
+        rng1 = np.random.default_rng(9)
+        net1 = build_network(TOPOLOGIES["line"](16, rng1), ProtocolConfig())
+        sim1 = Simulator(net1, rng1, scheduler=DelayAdversary(max_delay=0))
+        rng2 = np.random.default_rng(9)
+        net2 = build_network(TOPOLOGIES["line"](16, rng2), ProtocolConfig())
+        sim2 = Simulator(net2, rng2, scheduler=SynchronousScheduler())
+        for _ in range(20):
+            sim1.step_round()
+            sim2.step_round()
+        s1 = {i: (s.l, s.r, s.lrl, s.ring) for i, s in net1.states().items()}
+        s2 = {i: (s.l, s.r, s.lrl, s.ring) for i, s in net2.states().items()}
+        assert s1 == s2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayAdversary(max_delay=-1)
+
+
+class TestStarvationAdversary:
+    @pytest.mark.parametrize("fraction,period", [(0.3, 5), (0.5, 8)])
+    def test_stabilizes_despite_starved_nodes(self, fraction, period):
+        scheduler = StarvationAdversary(
+            slow_fraction=fraction, period=period, seed=int(fraction * 10)
+        )
+        net, _ = stabilize_with(scheduler, seed=period)
+        assert is_sorted_ring(net.states())
+
+    def test_starved_extremes(self):
+        """Even when the eventual min/max are slow, the ring closes."""
+        rng = np.random.default_rng(11)
+        states = TOPOLOGIES["line"](20, rng)
+        ordered = sorted(s.id for s in states)
+        scheduler = StarvationAdversary(slow_fraction=0.0, period=6)
+        scheduler._slow = {ordered[0], ordered[-1]}  # white-box injection
+        net = build_network(states, ProtocolConfig())
+        sim = Simulator(net, rng, scheduler=scheduler)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=30_000,
+            what="starved extremes",
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StarvationAdversary(slow_fraction=1.5)
+        with pytest.raises(ValueError):
+            StarvationAdversary(period=0)

@@ -1,0 +1,187 @@
+"""Unit tests for the analysis toolkit (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    empirical_pmf,
+    geometric_bins,
+    ks_distance,
+    loglog_slope,
+)
+from repro.analysis.scaling import compare_scaling, fit_polylog, fit_power
+from repro.analysis.smallworld import (
+    overlay_graph,
+    robustness_after_failures,
+    smallworld_metrics,
+)
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_rows, format_table
+from repro.graphs.build import stable_ring_states
+
+
+class TestEmpiricalPmf:
+    def test_counts(self):
+        pmf = empirical_pmf(np.array([1, 1, 2, 4]), support=4)
+        assert pmf.tolist() == [0.5, 0.25, 0.0, 0.25]
+
+    def test_out_of_support_rejected(self):
+        with pytest.raises(ValueError, match="support"):
+            empirical_pmf(np.array([0]), support=4)
+        with pytest.raises(ValueError, match="support"):
+            empirical_pmf(np.array([5]), support=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_pmf(np.array([]), support=4)
+
+
+class TestLoglogSlope:
+    def test_exact_harmonic_gives_minus_one(self):
+        d = np.arange(1, 1001)
+        pmf = (1.0 / d) / (1.0 / d).sum()
+        slope, r2 = loglog_slope(pmf, d_min=2, d_max=500)
+        assert slope == pytest.approx(-1.0, abs=0.05)
+        assert r2 > 0.99
+
+    def test_exact_square_law(self):
+        d = np.arange(1, 1001)
+        pmf = (1.0 / d**2) / (1.0 / d**2).sum()
+        slope, _ = loglog_slope(pmf, d_min=2, d_max=500)
+        assert slope == pytest.approx(-2.0, abs=0.1)
+
+    def test_range_validation(self):
+        pmf = np.ones(10) / 10
+        with pytest.raises(ValueError):
+            loglog_slope(pmf, d_min=5, d_max=3)
+
+    def test_needs_enough_bins(self):
+        pmf = np.ones(4) / 4
+        with pytest.raises(ValueError, match="bins"):
+            loglog_slope(pmf, d_min=1, d_max=2)
+
+    def test_geometric_bins(self):
+        edges = geometric_bins(1, 100)
+        assert edges[0] == 1 and edges[-1] >= 100
+        assert (np.diff(edges) >= 1).all()
+
+
+class TestKs:
+    def test_identical_zero(self):
+        pmf = np.array([0.5, 0.5])
+        assert ks_distance(pmf, pmf) == 0.0
+
+    def test_disjoint_one(self):
+        assert ks_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestScalingFits:
+    def test_polylog_recovers_parameters(self):
+        x = np.array([64, 128, 256, 512, 1024, 4096], dtype=float)
+        y = 3.0 * np.log(x) ** 2.1
+        fit = fit_polylog(x, y)
+        assert fit.a == pytest.approx(3.0, rel=0.01)
+        assert fit.b == pytest.approx(2.1, abs=0.01)
+        assert fit.r_squared > 0.9999
+
+    def test_power_recovers_parameters(self):
+        x = np.array([64, 128, 256, 512, 1024], dtype=float)
+        y = 0.5 * x**0.75
+        fit = fit_power(x, y)
+        assert fit.a == pytest.approx(0.5, rel=0.01)
+        assert fit.b == pytest.approx(0.75, abs=0.01)
+
+    def test_compare_prefers_true_model(self):
+        x = np.array([16, 64, 256, 1024, 4096, 16384], dtype=float)
+        poly_y = 2.0 * np.log(x) ** 2
+        power_y = 2.0 * x**0.6
+        assert compare_scaling(x, poly_y)["winner"] == "polylog"
+        assert compare_scaling(x, power_y)["winner"] == "power"
+
+    def test_predict_roundtrip(self):
+        x = np.array([10, 100, 1000], dtype=float)
+        fit = fit_power(x, 2 * x)
+        assert fit.predict(np.array([50.0]))[0] == pytest.approx(100.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_polylog(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_power(np.array([2.0, 3.0, 0.5]), np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            fit_power(np.array([2.0, 3.0, 4.0]), np.array([1.0, -2.0, 3.0]))
+
+
+class TestSmallworldMetrics:
+    def test_overlay_graph_ring(self, rng):
+        states = stable_ring_states(8, lrl="harmonic", rng=rng)
+        g = overlay_graph(states)
+        assert g.number_of_nodes() == 8
+        # Ring edges present: path 0-1-...-7 plus the wrap link.
+        ordered = sorted(s.id for s in states)
+        assert g.has_edge(ordered[0], ordered[1])
+        assert g.has_edge(ordered[0], ordered[-1])
+
+    def test_metrics_fields(self, rng):
+        states = stable_ring_states(32, lrl="harmonic", rng=rng)
+        m = smallworld_metrics(states, rng, sample_sources=8)
+        assert m["n"] == 32
+        assert m["connected"] == 1.0
+        assert m["mean_degree"] >= 2.0
+        assert m["char_path_length"] > 1.0
+
+    def test_robustness_zero_failures(self, rng):
+        states = stable_ring_states(16, lrl="harmonic", rng=rng)
+        out = robustness_after_failures(states, 0.0, rng)
+        assert out["failed"] == 0.0
+        assert out["giant_fraction"] == 1.0
+
+    def test_robustness_fraction_validated(self, rng):
+        states = stable_ring_states(8)
+        with pytest.raises(ValueError):
+            robustness_after_failures(states, 1.0, rng)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize(np.array([1.0, 2.0, 3.0]))
+        assert s["mean"] == 2.0
+        assert s["count"] == 3.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["ci95"] > 0
+
+    def test_single_value(self):
+        s = summarize(np.array([5.0]))
+        assert s["std"] == 0.0 and s["ci95"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_rows_infers_columns(self):
+        text = format_rows([{"x": 1, "y": 2}], title="T")
+        assert "T" in text and "x" in text and "y" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_rows([])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_bool_rendering(self):
+        assert "yes" in format_table(["ok"], [[True]])

@@ -1,0 +1,132 @@
+"""Unit tests for the baseline constructions (repro.baselines)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.kleinberg import kleinberg_lrl_ranks, kleinberg_states
+from repro.baselines.linearization_only import linearization_only_config
+from repro.baselines.random_links import uniform_lrl_ranks
+from repro.baselines.ring_only import ring_route_hops
+from repro.baselines.watts_strogatz import (
+    average_clustering,
+    characteristic_path_length,
+    watts_strogatz_graph,
+    ws_curves,
+)
+from repro.graphs.predicates import is_sorted_ring
+from repro.moveforget.harmonic import harmonic_offset_pmf
+
+
+class TestKleinberg:
+    def test_ranks_valid(self, rng):
+        lrl = kleinberg_lrl_ranks(100, rng)
+        assert lrl.shape == (100,)
+        assert lrl.min() >= 0 and lrl.max() < 100
+        assert (lrl != np.arange(100)).all()  # offset >= 1: never self
+
+    def test_offsets_follow_harmonic(self, rng):
+        n = 64
+        draws = np.concatenate(
+            [(kleinberg_lrl_ranks(n, rng) - np.arange(n)) % n for _ in range(500)]
+        )
+        emp = np.bincount(draws, minlength=n)[1:] / draws.size
+        assert np.max(np.abs(emp - harmonic_offset_pmf(n))) < 0.01
+
+    def test_states_are_sorted_ring(self, rng):
+        states = kleinberg_states(32, rng)
+        assert is_sorted_ring({s.id: s for s in states})
+
+
+class TestUniformLinks:
+    def test_no_self_by_default(self, rng):
+        lrl = uniform_lrl_ranks(50, rng)
+        assert (lrl != np.arange(50)).all()
+
+    def test_allow_self(self, rng):
+        lrl = uniform_lrl_ranks(4, rng, allow_self=True)
+        assert lrl.min() >= 0 and lrl.max() < 4
+
+    def test_roughly_uniform(self, rng):
+        n = 16
+        draws = np.concatenate([uniform_lrl_ranks(n, rng) for _ in range(2000)])
+        counts = np.bincount(draws, minlength=n)
+        assert counts.std() / counts.mean() < 0.1
+
+    def test_small_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_lrl_ranks(1, rng)
+
+
+class TestRingOnly:
+    def test_equals_ring_distance(self):
+        hops = ring_route_hops(10, np.array([0, 3]), np.array([5, 9]))
+        assert hops.tolist() == [5, 4]
+
+
+class TestLinearizationOnly:
+    def test_shortcuts_disabled(self):
+        cfg = linearization_only_config()
+        assert cfg.lrl_shortcuts is False
+        assert cfg.move_and_forget is True  # everything else untouched
+
+    def test_overrides_pass_through(self):
+        cfg = linearization_only_config(epsilon=0.5)
+        assert cfg.epsilon == 0.5 and cfg.lrl_shortcuts is False
+
+
+class TestWattsStrogatz:
+    def test_p_zero_is_ring_lattice(self, rng):
+        g = watts_strogatz_graph(20, 4, 0.0, rng)
+        assert g.number_of_edges() == 20 * 2
+        degrees = [d for _, d in g.degree()]
+        assert set(degrees) == {4}
+
+    def test_p_zero_clustering_matches_theory(self, rng):
+        # Ring lattice C(0) = 3(k−2)/(4(k−1)).
+        g = watts_strogatz_graph(50, 6, 0.0, rng)
+        expected = 3 * (6 - 2) / (4 * (6 - 1))
+        assert average_clustering(g) == pytest.approx(expected, rel=1e-9)
+
+    def test_rewiring_preserves_edge_count(self, rng):
+        g = watts_strogatz_graph(40, 4, 0.5, rng)
+        assert g.number_of_edges() == 40 * 2
+
+    def test_full_rewire_destroys_clustering(self, rng):
+        g0 = watts_strogatz_graph(100, 6, 0.0, rng)
+        g1 = watts_strogatz_graph(100, 6, 1.0, rng)
+        assert average_clustering(g1) < 0.5 * average_clustering(g0)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(3, 2, 0.1, rng)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1, rng)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 10, 0.1, rng)  # k >= n
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 4, 1.5, rng)
+
+    def test_path_length_exact_vs_sampled(self, rng):
+        g = watts_strogatz_graph(30, 4, 0.1, rng)
+        if not nx.is_connected(g):
+            pytest.skip("rare disconnected draw")
+        exact = characteristic_path_length(g, rng)
+        sampled = characteristic_path_length(g, rng, sample_sources=15)
+        assert sampled == pytest.approx(exact, rel=0.35)
+
+    def test_disconnected_rejected_for_path_length(self, rng):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="connected"):
+            characteristic_path_length(g, rng)
+
+    def test_ws_curves_shape(self, rng):
+        rows = ws_curves(60, 4, np.array([0.01, 1.0]), rng, trials=1, sample_sources=None)
+        assert len(rows) >= 1
+        for row in rows:
+            assert 0.0 <= row["C_over_C0"] <= 1.2
+            assert 0.0 < row["L_over_L0"] <= 1.2

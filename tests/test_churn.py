@@ -1,0 +1,170 @@
+"""Unit + integration tests for churn (join/leave recovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.churn.experiments import (
+    join_recovery_trial,
+    leave_recovery_trial,
+    measure_recovery,
+)
+from repro.churn.join import join_node
+from repro.churn.leave import leave_node
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_list, is_sorted_ring
+from repro.ids import NEG_INF, POS_INF
+from repro.sim.engine import Simulator
+
+
+def stable_sim(n=12, seed=0, lrl="harmonic"):
+    from repro.ids import generate_ids
+
+    rng = np.random.default_rng(seed)
+    # Random identifiers (not i/n): ids[0]/2 and similar gap picks must be
+    # fresh identifiers.
+    states = stable_ring_states(
+        n, lrl=lrl, rng=rng if lrl != "self" else None, ids=generate_ids(n, rng)
+    )
+    net = build_network(states, ProtocolConfig())
+    return net, Simulator(net, rng)
+
+
+class TestJoin:
+    def test_join_stores_contact_directionally(self):
+        net, _ = stable_sim()
+        ids = net.ids
+        new_id = (ids[3] + ids[4]) / 2
+        node = join_node(net, new_id, ids[0])
+        assert node.state.l == ids[0]  # contact smaller → left slot
+        assert node.state.r == POS_INF
+
+    def test_join_contact_larger(self):
+        net, _ = stable_sim()
+        ids = net.ids
+        new_id = ids[0] / 2
+        node = join_node(net, new_id, ids[5])
+        assert node.state.r == ids[5]
+        assert node.state.l == NEG_INF
+
+    def test_join_validation(self):
+        net, _ = stable_sim()
+        ids = net.ids
+        with pytest.raises(ValueError, match="already"):
+            join_node(net, ids[0], ids[1])
+        with pytest.raises(ValueError, match="contact"):
+            join_node(net, 0.99999, 0.98765)
+
+    def test_joined_node_integrates(self):
+        net, sim = stable_sim(n=16, seed=1)
+        ids = net.ids
+        new_id = (ids[7] + ids[8]) / 2
+        join_node(net, new_id, ids[0])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=400, what="join"
+        )
+        states = net.states()
+        assert states[new_id].l == ids[7]
+        assert states[new_id].r == ids[8]
+
+    def test_join_as_new_minimum(self):
+        net, sim = stable_sim(n=10, seed=2)
+        ids = net.ids
+        new_id = ids[0] / 2
+        join_node(net, new_id, ids[-1])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=600, what="join-min"
+        )
+        states = net.states()
+        assert states[new_id].l == NEG_INF
+        assert states[new_id].ring == ids[-1]
+
+
+class TestLeave:
+    def test_leave_purges_references(self):
+        net, _ = stable_sim()
+        ids = net.ids
+        victim = ids[4]
+        leave_node(net, victim)
+        for state in net.states().values():
+            assert state.l != victim and state.r != victim
+            assert state.lrl != victim and state.ring != victim
+
+    def test_leave_purges_in_flight_payloads(self):
+        net, sim = stable_sim()
+        sim.run(2)  # populate channels
+        victim = net.ids[4]
+        leave_node(net, victim)
+        for _, message in net.in_flight:
+            assert victim not in message.ids
+
+    def test_interior_leave_heals(self):
+        net, sim = stable_sim(n=16, seed=3)
+        victim = net.ids[8]
+        left, right = net.ids[7], net.ids[9]
+        leave_node(net, victim)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=600, what="leave"
+        )
+        states = net.states()
+        assert states[left].r == right and states[right].l == left
+
+    def test_min_leave_heals_ring(self):
+        net, sim = stable_sim(n=12, seed=4)
+        leave_node(net, net.ids[0])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=1000, what="leave-min"
+        )
+
+    def test_max_leave_heals_ring(self):
+        net, sim = stable_sim(n=12, seed=5)
+        leave_node(net, net.ids[-1])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=1000, what="leave-max"
+        )
+
+    def test_sequential_churn(self):
+        """Join + leave interleaved: the protocol absorbs both."""
+        net, sim = stable_sim(n=12, seed=6)
+        rng = np.random.default_rng(99)
+        for step in range(3):
+            ids = net.ids
+            leave_node(net, ids[int(rng.integers(1, len(ids) - 1))])
+            new_id = float(rng.random())
+            while new_id in net:
+                new_id = float(rng.random())
+            join_node(net, new_id, net.ids[int(rng.integers(len(net.ids)))])
+            sim.run_until(
+                lambda nw: is_sorted_ring(nw.states()),
+                max_rounds=800,
+                what=f"churn step {step}",
+            )
+        assert is_sorted_list(net.states())
+
+
+class TestRecoveryTrials:
+    def test_join_trial_result_fields(self):
+        res = join_recovery_trial(16, np.random.default_rng(0))
+        assert res.n == 17  # the joiner counts
+        assert res.rounds >= 1
+        assert res.total_messages > 0
+        assert res.extra_messages >= 0.0
+
+    def test_leave_trial_result_fields(self):
+        res = leave_recovery_trial(16, np.random.default_rng(0))
+        assert res.n == 15
+        assert res.rounds >= 0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            join_recovery_trial(2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            leave_recovery_trial(3, np.random.default_rng(0))
+
+    def test_measure_recovery_counts_delta(self):
+        net, sim = stable_sim(n=8, seed=7)
+        res = measure_recovery(sim, max_rounds=50, baseline_rate=0.0)
+        assert res.rounds == 0  # already stable
+        assert res.total_messages == 0

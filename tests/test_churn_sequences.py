@@ -1,0 +1,76 @@
+"""Unit tests for sustained-churn workloads (repro.churn.sequences)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.churn.sequences import ChurnReport, ChurnWorkload
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.ids import generate_ids
+from repro.sim.engine import Simulator
+
+
+def make_sim(n=24, seed=0):
+    rng = np.random.default_rng(seed)
+    states = stable_ring_states(n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng))
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, rng)
+    sim.run(5)
+    return sim, rng
+
+
+class TestChurnWorkload:
+    def test_zero_rates_keep_network_perfect(self):
+        sim, rng = make_sim()
+        workload = ChurnWorkload(sim, rng, join_probability=0.0, leave_probability=0.0)
+        report = workload.run(40)
+        assert report.joins == 0 and report.leaves == 0
+        assert report.ring_availability == 1.0
+        assert report.mean_pair_fraction == 1.0
+        assert report.routing_success_rate == 1.0
+
+    def test_events_happen_at_high_rates(self):
+        sim, rng = make_sim(seed=1)
+        workload = ChurnWorkload(sim, rng, join_probability=0.8, leave_probability=0.8)
+        report = workload.run(50)
+        assert report.joins > 10 and report.leaves > 10
+        assert report.rounds == 50
+        assert report.final_size == len(sim.network)
+
+    def test_min_size_floor_respected(self):
+        sim, rng = make_sim(n=24, seed=2)
+        workload = ChurnWorkload(
+            sim, rng, join_probability=0.0, leave_probability=1.0, min_size=10
+        )
+        report = workload.run(100)
+        assert len(sim.network) == 10
+        assert report.min_size == 10
+
+    def test_routing_sampled_over_actual_links(self):
+        sim, rng = make_sim(seed=3)
+        workload = ChurnWorkload(
+            sim, rng, join_probability=0.3, leave_probability=0.3, route_every=5
+        )
+        report = workload.run(30)
+        assert report.routing_samples >= 6 * workload.route_queries
+
+    def test_parameter_validation(self):
+        sim, rng = make_sim(seed=4)
+        with pytest.raises(ValueError):
+            ChurnWorkload(sim, rng, join_probability=1.5, leave_probability=0.0)
+        with pytest.raises(ValueError):
+            ChurnWorkload(sim, rng, join_probability=0.0, leave_probability=0.0, min_size=2)
+        workload = ChurnWorkload(sim, rng, join_probability=0.1, leave_probability=0.1)
+        with pytest.raises(ValueError):
+            workload.run(0)
+
+
+class TestChurnReport:
+    def test_empty_report_defaults(self):
+        report = ChurnReport()
+        assert report.ring_availability == 0.0
+        assert report.mean_pair_fraction == 0.0
+        assert report.routing_success_rate == 0.0
+        assert report.mean_routing_hops == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for the forget schedule φ(α) (repro.core.forget)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import forget as F
+
+
+class TestPhi:
+    def test_protected_ages(self):
+        for age in (0, 1, 2):
+            assert F.forget_probability(age) == 0.0
+
+    def test_matches_paper_formula(self):
+        eps = 0.1
+        for age in (3, 10, 100, 12345):
+            expected = 1.0 - ((age - 1) / age) * (
+                math.log(age - 1) / math.log(age)
+            ) ** (1 + eps)
+            assert F.forget_probability(age, eps) == pytest.approx(expected)
+
+    def test_phi_in_unit_interval(self):
+        for age in range(0, 2000):
+            p = F.forget_probability(age, 0.25)
+            assert 0.0 <= p < 1.0
+
+    def test_phi_decreasing_beyond_three(self):
+        vals = [F.forget_probability(a) for a in range(3, 500)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            F.forget_probability(-1)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            F.forget_probability(5, epsilon=0.0)
+        with pytest.raises(ValueError):
+            F.forget_probability(5, epsilon=-1.0)
+
+    def test_array_matches_scalar(self):
+        ages = np.array([0, 1, 2, 3, 7, 50, 1000])
+        arr = F.forget_probability_array(ages, 0.1)
+        for i, a in enumerate(ages):
+            assert arr[i] == pytest.approx(F.forget_probability(int(a), 0.1))
+
+    def test_array_rejects_negative(self):
+        with pytest.raises(ValueError):
+            F.forget_probability_array(np.array([-1, 2]))
+
+
+class TestSurvival:
+    def test_survival_one_for_small_m(self):
+        for m in (0, 1, 2, 3):
+            assert F.survival(m) == 1.0
+
+    def test_survival_telescopes_product(self):
+        """The closed form must equal the explicit product Π(1−φ(a))."""
+        eps = 0.2
+        for m in (4, 7, 20, 100):
+            product = 1.0
+            for a in range(3, m):
+                product *= 1.0 - F.forget_probability(a, eps)
+            assert F.survival(m, eps) == pytest.approx(product, rel=1e-12)
+
+    def test_survival_monotone_decreasing(self):
+        vals = [F.survival(m) for m in range(3, 2000)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_survival_array_matches_scalar(self):
+        ms = np.array([1, 3, 4, 10, 999])
+        arr = F.survival_array(ms, 0.1)
+        for i, m in enumerate(ms):
+            assert arr[i] == pytest.approx(F.survival(int(m), 0.1))
+
+
+class TestExpectedLifetime:
+    def test_finite_and_reasonable(self):
+        e = F.expected_lifetime(0.1)
+        assert 10 < e < 30  # ≈ 3 + 2(ln2)^{1.1}/ε with ε=0.1
+
+    def test_decreases_with_epsilon(self):
+        assert F.expected_lifetime(0.5) < F.expected_lifetime(0.1)
+
+    def test_head_plus_tail_consistent(self):
+        """More exact terms must not change the value much."""
+        a = F.expected_lifetime(0.2, exact_terms=10_000)
+        b = F.expected_lifetime(0.2, exact_terms=100_000)
+        assert a == pytest.approx(b, rel=1e-3)
+
+    def test_rejects_tiny_exact_terms(self):
+        with pytest.raises(ValueError):
+            F.expected_lifetime(0.1, exact_terms=2)
+
+
+class TestSampleLifetimes:
+    def test_minimum_is_three(self, rng):
+        out = F.sample_lifetimes(10_000, rng, 0.1)
+        assert out.min() >= 3
+
+    def test_empirical_survival_matches_closed_form(self, rng):
+        eps = 0.15
+        out = F.sample_lifetimes(200_000, rng, eps)
+        for m in (4, 6, 10, 30, 100):
+            emp = float((out >= m).mean())
+            assert emp == pytest.approx(F.survival(m, eps), abs=0.01)
+
+    def test_zero_size(self, rng):
+        assert F.sample_lifetimes(0, rng).size == 0
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.sample_lifetimes(-1, rng)

@@ -1,0 +1,109 @@
+"""Unit tests for the message layer (repro.core.messages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    Message,
+    MessageType,
+    inclrl,
+    lin,
+    probl,
+    probr,
+    reslrl,
+    resring,
+    ring,
+)
+from repro.ids import NEG_INF, POS_INF
+
+
+class TestConstructors:
+    @pytest.mark.parametrize(
+        "factory,mtype",
+        [
+            (lin, MessageType.LIN),
+            (inclrl, MessageType.INCLRL),
+            (ring, MessageType.RING),
+            (resring, MessageType.RESRING),
+            (probr, MessageType.PROBR),
+            (probl, MessageType.PROBL),
+        ],
+    )
+    def test_single_id_types(self, factory, mtype):
+        m = factory(0.5)
+        assert m.type is mtype
+        assert m.id == 0.5
+        assert m.ids == (0.5,)
+
+    def test_reslrl_three_ids(self):
+        m = reslrl(0.5, 0.1, 0.9)
+        assert m.responder == 0.5
+        assert m.id1 == 0.1
+        assert m.id2 == 0.9
+
+    def test_reslrl_sentinel_slots(self):
+        assert reslrl(0.5, NEG_INF, 0.5).id1 == NEG_INF
+        assert reslrl(0.5, 0.5, POS_INF).id2 == POS_INF
+
+    def test_reslrl_rejects_double_sentinel(self):
+        with pytest.raises(ValueError, match="at least one real"):
+            reslrl(0.5, NEG_INF, POS_INF)
+
+    def test_reslrl_rejects_sentinel_responder(self):
+        with pytest.raises(ValueError, match="responder"):
+            reslrl(POS_INF, 0.1, 0.9)
+
+    def test_reslrl_rejects_wrong_sentinel_side(self):
+        with pytest.raises(ValueError):
+            reslrl(0.5, POS_INF, 0.5)
+        with pytest.raises(ValueError):
+            reslrl(0.5, 0.5, NEG_INF)
+
+
+class TestValidation:
+    def test_single_id_rejects_sentinels(self):
+        with pytest.raises(ValueError):
+            lin(POS_INF)
+        with pytest.raises(ValueError):
+            probr(NEG_INF)
+
+    def test_single_id_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            lin(1.5)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Message(MessageType.LIN, (0.1, 0.2))
+        with pytest.raises(ValueError, match="exactly three"):
+            Message(MessageType.RESLRL, (0.1,))
+
+
+class TestAccessors:
+    def test_id_on_reslrl_raises(self):
+        with pytest.raises(AttributeError):
+            _ = reslrl(0.5, 0.1, 0.2).id
+
+    def test_id1_on_lin_raises(self):
+        with pytest.raises(AttributeError):
+            _ = lin(0.1).id1
+        with pytest.raises(AttributeError):
+            _ = lin(0.1).id2
+        with pytest.raises(AttributeError):
+            _ = lin(0.1).responder
+
+
+class TestHashability:
+    def test_identical_messages_equal(self):
+        assert lin(0.5) == lin(0.5)
+        assert hash(lin(0.5)) == hash(lin(0.5))
+
+    def test_different_types_distinct(self):
+        assert lin(0.5) != probr(0.5)
+
+    def test_usable_in_sets(self):
+        s = {lin(0.5), lin(0.5), probr(0.5)}
+        assert len(s) == 2
+
+    def test_repr_contains_type(self):
+        assert "lin" in repr(lin(0.25))

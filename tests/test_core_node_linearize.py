@@ -1,0 +1,179 @@
+"""White-box tests of Algorithm 2 (linearize) and Algorithm 9 (sendid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import MessageType, lin
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, POS_INF
+
+
+class Collector:
+    """Capture sends as (dest, message) pairs."""
+
+    def __init__(self):
+        self.sent: list[tuple[float, object]] = []
+
+    def __call__(self, dest, message):
+        self.sent.append((dest, message))
+
+    def of_type(self, mtype):
+        return [(d, m) for d, m in self.sent if m.type is mtype]
+
+
+@pytest.fixture()
+def out():
+    return Collector()
+
+
+def make_node(**kw) -> Node:
+    config = kw.pop("config", None)
+    return Node(NodeState(**kw), config or ProtocolConfig())
+
+
+class TestAdoptCloser:
+    def test_adopts_closer_right_and_displaces_old(self, out):
+        node = make_node(id=0.5, r=0.9)
+        node.linearize(0.7, out)
+        assert node.state.r == 0.7
+        # Old right neighbor handed to the new one (path substitution).
+        assert out.sent == [(0.7, lin(0.9))]
+
+    def test_adopts_closer_left_and_displaces_old(self, out):
+        node = make_node(id=0.5, l=0.1)
+        node.linearize(0.3, out)
+        assert node.state.l == 0.3
+        assert out.sent == [(0.3, lin(0.1))]
+
+    def test_adopts_first_right_without_send(self, out):
+        node = make_node(id=0.5)  # r = +inf
+        node.linearize(0.7, out)
+        assert node.state.r == 0.7
+        assert out.sent == []
+
+    def test_adopts_first_left_without_send(self, out):
+        node = make_node(id=0.5)
+        node.linearize(0.2, out)
+        assert node.state.l == 0.2
+        assert out.sent == []
+
+
+class TestForwarding:
+    def test_forwards_beyond_right_neighbor(self, out):
+        node = make_node(id=0.5, r=0.6)
+        node.linearize(0.8, out)
+        assert node.state.r == 0.6  # unchanged
+        assert out.sent == [(0.6, lin(0.8))]
+
+    def test_forwards_beyond_left_neighbor(self, out):
+        node = make_node(id=0.5, l=0.4)
+        node.linearize(0.2, out)
+        assert out.sent == [(0.4, lin(0.2))]
+
+    def test_shortcut_right_when_lrl_between(self, out):
+        # id > lrl > r  →  forward via the long-range link.
+        node = make_node(id=0.5, r=0.6, lrl=0.7)
+        node.linearize(0.8, out)
+        assert out.sent == [(0.7, lin(0.8))]
+
+    def test_no_shortcut_when_lrl_beyond_target(self, out):
+        node = make_node(id=0.5, r=0.6, lrl=0.9)
+        node.linearize(0.8, out)
+        assert out.sent == [(0.6, lin(0.8))]
+
+    def test_shortcut_left_mirror(self, out):
+        node = make_node(id=0.5, l=0.4, lrl=0.3)
+        node.linearize(0.2, out)
+        assert out.sent == [(0.3, lin(0.2))]
+
+    def test_shortcut_disabled_by_config(self, out):
+        node = make_node(
+            id=0.5, r=0.6, lrl=0.7, config=ProtocolConfig(lrl_shortcuts=False)
+        )
+        node.linearize(0.8, out)
+        assert out.sent == [(0.6, lin(0.8))]
+
+
+class TestNoOps:
+    def test_own_id_is_noop(self, out):
+        node = make_node(id=0.5, l=0.2, r=0.8)
+        node.linearize(0.5, out)
+        assert out.sent == []
+        assert node.state.l == 0.2 and node.state.r == 0.8
+
+    def test_existing_right_neighbor_id_is_noop(self, out):
+        """nid == p.r must not echo the neighbor's own id (DESIGN.md §4.5)."""
+        node = make_node(id=0.5, r=0.8)
+        node.linearize(0.8, out)
+        assert out.sent == []
+
+    def test_existing_left_neighbor_id_is_noop(self, out):
+        node = make_node(id=0.5, l=0.2)
+        node.linearize(0.2, out)
+        assert out.sent == []
+
+
+class TestSendId:
+    def test_stable_interior_node_sends_lin_both_ways(self, out):
+        node = make_node(id=0.5, l=0.2, r=0.8, lrl=0.9)
+        node.send_id(out)
+        lin_sends = out.of_type(MessageType.LIN)
+        assert (0.2, lin(0.5)) in lin_sends
+        assert (0.8, lin(0.5)) in lin_sends
+        inclrl_sends = out.of_type(MessageType.INCLRL)
+        assert len(inclrl_sends) == 1 and inclrl_sends[0][0] == 0.9
+
+    def test_missing_left_sends_ring(self, out):
+        node = make_node(id=0.5, r=0.8, ring=0.9)
+        node.send_id(out)
+        ring_sends = out.of_type(MessageType.RING)
+        assert ring_sends == [(0.9, ring_sends[0][1])]
+        assert ring_sends[0][1].id == 0.5
+
+    def test_ring_bootstrap_from_lrl(self, out):
+        node = make_node(id=0.5, r=0.8, lrl=0.7)  # ring unset
+        node.send_id(out)
+        assert node.state.ring == 0.7
+        assert out.of_type(MessageType.RING)[0][0] == 0.7
+
+    def test_ring_bootstrap_from_neighbor_when_token_home(self, out):
+        node = make_node(id=0.5, r=0.8)  # lrl = self, ring unset
+        node.send_id(out)
+        assert node.state.ring == 0.8
+
+    def test_isolated_node_sends_only_inclrl_to_self(self, out):
+        node = make_node(id=0.5)  # knows nobody
+        node.send_id(out)
+        assert out.of_type(MessageType.RING) == []
+        inclrl_sends = out.of_type(MessageType.INCLRL)
+        assert inclrl_sends[0][0] == 0.5  # token at home
+
+    def test_no_inclrl_when_move_forget_disabled(self, out):
+        node = make_node(
+            id=0.5, l=0.2, r=0.8, config=ProtocolConfig(move_and_forget=False)
+        )
+        node.send_id(out)
+        assert out.of_type(MessageType.INCLRL) == []
+
+
+class TestMessagesNeverCarrySentinels:
+    def test_fuzz_linearize_payloads_are_real(self, rng):
+        """No handler may ever emit ±∞ (compare-store-send, DESIGN.md §4.2)."""
+        for _ in range(200):
+            vals = np.sort(rng.random(4))
+            node = make_node(
+                id=float(vals[1]),
+                l=float(vals[0]) if rng.random() < 0.7 else NEG_INF,
+                r=float(vals[2]) if rng.random() < 0.7 else POS_INF,
+                lrl=float(vals[3]),
+            )
+            out = Collector()
+            node.linearize(float(rng.random()), out)
+            node.send_id(out)
+            for _, m in out.sent:
+                for payload in m.ids:
+                    assert 0.0 <= payload < 1.0

@@ -1,0 +1,173 @@
+"""White-box tests of Algorithms 3 (respondlrl) and 4 (move-forget)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import reslrl
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, POS_INF
+from repro.sim.trace import Trace
+
+
+class Collector:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, dest, message):
+        self.sent.append((dest, message))
+
+
+@pytest.fixture()
+def out():
+    return Collector()
+
+
+def make_node(**kw) -> Node:
+    config = kw.pop("config", None)
+    return Node(NodeState(**kw), config or ProtocolConfig())
+
+
+class TestRespondLrl:
+    def test_interior_node_reports_both_neighbors(self, out):
+        node = make_node(id=0.5, l=0.4, r=0.6)
+        node.respond_lrl(0.2, out)
+        assert out.sent == [(0.2, reslrl(0.5, 0.4, 0.6))]
+
+    def test_max_node_wraps_right_via_ring(self, out):
+        node = make_node(id=0.9, l=0.8, ring=0.1)
+        node.respond_lrl(0.2, out)
+        assert out.sent == [(0.2, reslrl(0.9, 0.8, 0.1))]
+
+    def test_min_node_wraps_left_via_ring(self, out):
+        """DESIGN.md §4.1: payload is (p.ring, p.r), not the paper's typo."""
+        node = make_node(id=0.1, r=0.2, ring=0.9)
+        node.respond_lrl(0.5, out)
+        assert out.sent == [(0.5, reslrl(0.1, 0.9, 0.2))]
+
+    def test_max_without_ring_sends_sentinel_slot(self, out):
+        node = make_node(id=0.9, l=0.8)
+        node.respond_lrl(0.2, out)
+        assert out.sent == [(0.2, reslrl(0.9, 0.8, POS_INF))]
+
+    def test_min_without_ring_sends_sentinel_slot(self, out):
+        node = make_node(id=0.1, r=0.2)
+        node.respond_lrl(0.5, out)
+        assert out.sent == [(0.5, reslrl(0.1, NEG_INF, 0.2))]
+
+    def test_isolated_node_stays_silent(self, out):
+        node = make_node(id=0.5)
+        node.respond_lrl(0.2, out)
+        assert out.sent == []
+
+    def test_disabled_without_move_forget(self, out):
+        node = make_node(
+            id=0.5, l=0.4, r=0.6, config=ProtocolConfig(move_and_forget=False)
+        )
+        node.respond_lrl(0.2, out)
+        assert out.sent == []
+
+
+class TestMoveForget:
+    def test_moves_to_one_of_both_candidates(self):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(100):
+            node = make_node(id=0.5, l=0.4, r=0.6, lrl=0.7)
+            node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+            seen.add(node.state.lrl)
+        assert seen == {0.65, 0.75}
+
+    def test_move_split_is_roughly_fair(self):
+        rng = np.random.default_rng(1)
+        left = 0
+        trials = 4000
+        for _ in range(trials):
+            node = make_node(id=0.5, lrl=0.7)
+            node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+            left += node.state.lrl == 0.65
+        assert abs(left / trials - 0.5) < 0.03
+
+    def test_forced_left_when_right_unknown(self):
+        rng = np.random.default_rng(2)
+        node = make_node(id=0.5, lrl=0.7)
+        node.move_forget(0.7, 0.65, POS_INF, rng, Collector())
+        assert node.state.lrl == 0.65
+
+    def test_forced_right_when_left_unknown(self):
+        rng = np.random.default_rng(3)
+        node = make_node(id=0.5, lrl=0.7)
+        node.move_forget(0.7, NEG_INF, 0.75, rng, Collector())
+        assert node.state.lrl == 0.75
+
+    def test_age_increments_on_every_move(self):
+        rng = np.random.default_rng(4)
+        node = make_node(id=0.5, lrl=0.7, age=0)
+        node.move_forget(0.7, 0.65, POS_INF, rng, Collector())
+        assert node.state.age == 1
+
+    def test_no_forget_in_protected_ages(self):
+        """φ(1) = φ(2) = 0: the first two moves can never reset the link."""
+        rng = np.random.default_rng(5)
+        for _ in range(300):
+            node = make_node(id=0.5, lrl=0.7, age=0)
+            node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+            node.move_forget(0.7, 0.6, 0.7, rng, Collector())
+            assert node.state.lrl != 0.5 or node.state.age != 0
+
+    def test_forget_resets_link_and_age(self):
+        """At huge ages forgetting still happens at rate φ; force it."""
+        rng = np.random.default_rng(6)
+        forgot = False
+        for _ in range(2000):
+            node = make_node(id=0.5, lrl=0.7, age=3)
+            node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+            if node.state.lrl == 0.5 and node.state.age == 0:
+                forgot = True
+                break
+        assert forgot  # φ(4) ≈ 0.47 for ε=0.1: must trigger within 2000 runs
+
+    def test_forget_traced(self):
+        trace = Trace()
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            node = make_node(
+                id=0.5, lrl=0.7, age=3, config=ProtocolConfig(trace=trace)
+            )
+            node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+            if trace.forgets():
+                break
+        assert trace.forgets()[0].node == 0.5
+
+    def test_stale_response_discarded(self):
+        """DESIGN.md SS4.13: responses from a previous endpoint do nothing."""
+        rng = np.random.default_rng(9)
+        node = make_node(id=0.5, lrl=0.7, age=5)
+        node.move_forget(0.3, 0.25, 0.35, rng, Collector())  # responder != lrl
+        assert node.state.lrl == 0.7 and node.state.age == 5
+
+    def test_forget_reinjects_old_endpoint(self):
+        """DESIGN.md SS4.12: a forgotten endpoint re-enters linearization."""
+        rng = np.random.default_rng(10)
+        for _ in range(2000):
+            node = make_node(id=0.5, l=0.4, r=0.6, lrl=0.7, age=3)
+            out = Collector()
+            node.move_forget(0.7, 0.65, 0.75, rng, out)
+            if node.state.lrl == 0.5:  # forget fired
+                moved_to = {0.65, 0.75}
+                payloads = {m.ids[0] for _, m in out.sent}
+                # The post-move endpoint was forwarded toward its position.
+                assert payloads & moved_to
+                return
+        raise AssertionError("forget never fired in 2000 trials")
+
+    def test_disabled_without_move_forget(self):
+        rng = np.random.default_rng(8)
+        node = make_node(
+            id=0.5, lrl=0.7, age=5, config=ProtocolConfig(move_and_forget=False)
+        )
+        node.move_forget(0.7, 0.65, 0.75, rng, Collector())
+        assert node.state.lrl == 0.7 and node.state.age == 5

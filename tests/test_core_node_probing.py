@@ -1,0 +1,165 @@
+"""White-box tests of Algorithms 5, 6 (probing forwarders) and 10 (probing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import MessageType, probl, probr
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+
+
+class Collector:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, dest, message):
+        self.sent.append((dest, message))
+
+    def of_type(self, mtype):
+        return [(d, m) for d, m in self.sent if m.type is mtype]
+
+
+@pytest.fixture()
+def out():
+    return Collector()
+
+
+def make_node(**kw) -> Node:
+    config = kw.pop("config", None)
+    return Node(NodeState(**kw), config or ProtocolConfig())
+
+
+class TestProbingRight:
+    def test_forwards_via_lrl_shortcut(self, out):
+        # dest >= lrl > r → jump through the long-range link.
+        node = make_node(id=0.3, r=0.4, lrl=0.6)
+        node.probing_r(0.8, out)
+        assert out.sent == [(0.6, probr(0.8))]
+
+    def test_forwards_via_right_neighbor(self, out):
+        node = make_node(id=0.3, r=0.4, lrl=0.2)
+        node.probing_r(0.8, out)
+        assert out.sent == [(0.4, probr(0.8))]
+
+    def test_lrl_beyond_dest_not_used(self, out):
+        node = make_node(id=0.3, r=0.4, lrl=0.9)
+        node.probing_r(0.8, out)
+        assert out.sent == [(0.4, probr(0.8))]
+
+    def test_repairs_when_dest_in_gap(self, out):
+        """dest strictly between p and p.r: the probe failed → linearize."""
+        node = make_node(id=0.3, r=0.8)
+        node.probing_r(0.5, out)
+        assert node.state.r == 0.5  # link created
+        # Old right neighbor displaced to the new node.
+        assert (0.5, out.sent[0][1]) == out.sent[0]
+        assert out.sent[0][1].id == 0.8
+
+    def test_repairs_when_no_right_neighbor(self, out):
+        node = make_node(id=0.3)  # r = +inf
+        node.probing_r(0.5, out)
+        assert node.state.r == 0.5
+
+    def test_stale_probe_dropped(self, out):
+        node = make_node(id=0.3, r=0.4)
+        node.probing_r(0.2, out)  # dest <= p.id
+        assert out.sent == []
+
+    def test_own_id_dropped(self, out):
+        node = make_node(id=0.3, r=0.4)
+        node.probing_r(0.3, out)
+        assert out.sent == []
+
+    def test_shortcut_disabled(self, out):
+        node = make_node(
+            id=0.3, r=0.4, lrl=0.6, config=ProtocolConfig(lrl_shortcuts=False)
+        )
+        node.probing_r(0.8, out)
+        assert out.sent == [(0.4, probr(0.8))]
+
+
+class TestProbingLeft:
+    def test_forwards_via_lrl_shortcut(self, out):
+        node = make_node(id=0.7, l=0.6, lrl=0.4)
+        node.probing_l(0.2, out)
+        assert out.sent == [(0.4, probl(0.2))]
+
+    def test_forwards_via_left_neighbor(self, out):
+        node = make_node(id=0.7, l=0.6, lrl=0.9)
+        node.probing_l(0.2, out)
+        assert out.sent == [(0.6, probl(0.2))]
+
+    def test_repairs_when_dest_in_gap(self, out):
+        node = make_node(id=0.7, l=0.2)
+        node.probing_l(0.5, out)
+        assert node.state.l == 0.5
+
+    def test_stale_probe_dropped(self, out):
+        node = make_node(id=0.7, l=0.6)
+        node.probing_l(0.8, out)
+        assert out.sent == []
+
+
+class TestProbingEmission:
+    def test_probes_toward_right_lrl(self, out):
+        node = make_node(id=0.3, l=0.2, r=0.4, lrl=0.8)
+        node.probing(out)
+        assert out.of_type(MessageType.PROBR) == [(0.4, probr(0.8))]
+
+    def test_probes_toward_left_lrl(self, out):
+        node = make_node(id=0.7, l=0.6, r=0.8, lrl=0.2)
+        node.probing(out)
+        assert out.of_type(MessageType.PROBL) == [(0.6, probl(0.2))]
+
+    def test_lrl_at_home_probes_nothing(self, out):
+        node = make_node(id=0.5, l=0.4, r=0.6)
+        node.probing(out)
+        assert out.sent == []
+
+    def test_lrl_strictly_inside_gap_linearizes(self, out):
+        """p < lrl < p.r: Algorithm 10 adopts the link as neighbor."""
+        node = make_node(id=0.3, l=0.2, r=0.9, lrl=0.5)
+        node.probing(out)
+        assert node.state.r == 0.5
+
+    def test_min_node_probes_its_ring_edge(self, out):
+        node = make_node(id=0.1, r=0.2, ring=0.9)  # l missing → ring kept
+        node.probing(out)
+        probes = out.of_type(MessageType.PROBR)
+        assert (0.2, probr(0.9)) in probes
+
+    def test_max_node_probes_ring_leftward(self, out):
+        node = make_node(id=0.9, l=0.8, ring=0.1)
+        node.probing(out)
+        assert (0.8, probl(0.1)) in out.of_type(MessageType.PROBL)
+
+    def test_interior_node_does_not_probe_ring(self, out):
+        node = make_node(id=0.5, l=0.4, r=0.6, ring=0.9, lrl=0.5)
+        node.probing(out)
+        assert out.sent == []
+
+    def test_probing_disabled_by_config(self, out):
+        node = make_node(
+            id=0.3, l=0.2, r=0.4, lrl=0.8, config=ProtocolConfig(probing=False)
+        )
+        node.probing(out)
+        assert out.sent == []
+
+    def test_no_lrl_probe_without_move_forget(self, out):
+        node = make_node(
+            id=0.3,
+            l=0.2,
+            r=0.4,
+            lrl=0.8,
+            config=ProtocolConfig(move_and_forget=False),
+        )
+        node.probing(out)
+        assert out.sent == []
+
+    def test_ring_equal_to_left_probes_left_neighbor(self, out):
+        """Boundary: ring == p.l sends the probe (dropped at destination)."""
+        node = make_node(id=0.9, l=0.1, ring=0.1)
+        node.probing(out)
+        assert (0.1, probl(0.1)) in out.of_type(MessageType.PROBL)

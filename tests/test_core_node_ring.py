@@ -1,0 +1,138 @@
+"""White-box tests of Algorithms 7 (respondring) and 8 (updatering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import MessageType, lin, resring
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+
+
+class Collector:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, dest, message):
+        self.sent.append((dest, message))
+
+
+@pytest.fixture()
+def out():
+    return Collector()
+
+
+def make_node(**kw) -> Node:
+    return Node(NodeState(**kw), ProtocolConfig())
+
+
+class TestRespondRingSmallerOrigin:
+    def test_teaches_left_neighbor_when_origin_between(self, out):
+        # p.l < origin < p: origin learns p.l (its candidate left neighbor).
+        node = make_node(id=0.5, l=0.2, r=0.8, lrl=0.5)
+        node.respond_ring(0.3, out)
+        assert out.sent == [(0.3, lin(0.2))]
+
+    def test_substitutes_own_id_when_no_left(self, out):
+        # Paper would send p.l = −∞; we send p.id (DESIGN.md §4.2).
+        node = make_node(id=0.5, r=0.8, lrl=0.5)
+        node.respond_ring(0.3, out)
+        assert out.sent == [(0.3, lin(0.5))]
+
+    def test_teaches_lrl_when_smaller_than_origin(self, out):
+        node = make_node(id=0.5, l=0.1, r=0.8, lrl=0.2)
+        node.respond_ring(0.3, out)
+        # p.l = 0.1 < 0.3 wins first, so construct p.l > origin instead:
+        node2 = make_node(id=0.5, l=0.4, r=0.8, lrl=0.2)
+        out2 = Collector()
+        node2.respond_ring(0.3, out2)
+        assert out2.sent == [(0.3, lin(0.2))]
+
+    def test_propagates_search_via_lrl_jump(self, out):
+        # No smaller witness; lrl > r → resring(lrl): jump toward max.
+        node = make_node(id=0.5, l=0.45, r=0.6, lrl=0.9)
+        node.respond_ring(0.3, out)
+        assert out.sent == [(0.3, resring(0.9))]
+
+    def test_propagates_search_via_right_neighbor(self, out):
+        node = make_node(id=0.5, l=0.45, r=0.6, lrl=0.5)
+        node.respond_ring(0.3, out)
+        assert out.sent == [(0.3, resring(0.6))]
+
+    def test_max_node_answers_with_itself(self, out):
+        # p.r = +∞: p itself is the best max candidate (DESIGN.md §4.2).
+        node = make_node(id=0.9, l=0.85, lrl=0.9)
+        node.respond_ring(0.3, out)
+        assert out.sent == [(0.3, resring(0.9))]
+
+
+class TestRespondRingLargerOrigin:
+    def test_teaches_when_origin_between(self, out):
+        node = make_node(id=0.5, l=0.2, r=0.8, lrl=0.5)
+        node.respond_ring(0.6, out)
+        assert out.sent == [(0.6, lin(0.2))]
+
+    def test_teaches_lrl_when_larger_than_origin(self, out):
+        node = make_node(id=0.5, l=0.2, r=0.55, lrl=0.9)
+        node.respond_ring(0.6, out)
+        assert out.sent == [(0.6, lin(0.9))]
+
+    def test_propagates_search_via_lrl_jump_left(self, out):
+        node = make_node(id=0.5, l=0.4, r=0.55, lrl=0.1)
+        node.respond_ring(0.6, out)
+        assert out.sent == [(0.6, resring(0.1))]
+
+    def test_propagates_search_via_left_neighbor(self, out):
+        node = make_node(id=0.5, l=0.4, r=0.55, lrl=0.5)
+        node.respond_ring(0.6, out)
+        assert out.sent == [(0.6, resring(0.4))]
+
+    def test_min_node_answers_with_itself(self, out):
+        node = make_node(id=0.1, r=0.2, lrl=0.1)
+        node.respond_ring(0.6, out)
+        assert out.sent == [(0.6, resring(0.1))]
+
+
+class TestRespondRingEdgeCases:
+    def test_self_origin_ignored(self, out):
+        node = make_node(id=0.5, l=0.2, r=0.8)
+        node.respond_ring(0.5, out)
+        assert out.sent == []
+
+    def test_stable_extremes_are_quiescent(self, out):
+        """min↔max ring exchange must not change ring endpoints (n stable)."""
+        mn = make_node(id=0.1, r=0.2, ring=0.9, lrl=0.1)
+        mx = make_node(id=0.9, l=0.8, ring=0.1, lrl=0.9)
+        # max receives min's ring message and answers resring(max.id).
+        mx.respond_ring(0.1, out)
+        [(dest, msg)] = out.sent
+        assert dest == 0.1 and msg == resring(0.9)
+        mn.update_ring(msg.id, Collector())
+        assert mn.state.ring == 0.9  # unchanged
+
+
+class TestUpdateRing:
+    def test_missing_left_grows_toward_max(self):
+        node = make_node(id=0.1, r=0.2, ring=0.5)
+        node.update_ring(0.7, Collector())
+        assert node.state.ring == 0.7
+        node.update_ring(0.6, Collector())  # smaller candidate ignored
+        assert node.state.ring == 0.7
+
+    def test_missing_right_shrinks_toward_min(self):
+        node = make_node(id=0.9, l=0.8, ring=0.5)
+        node.update_ring(0.3, Collector())
+        assert node.state.ring == 0.3
+        node.update_ring(0.4, Collector())
+        assert node.state.ring == 0.3
+
+    def test_bootstrap_from_none(self):
+        node = make_node(id=0.1, r=0.2)
+        node.update_ring(0.5, Collector())
+        assert node.state.ring == 0.5
+
+    def test_interior_node_ignores_stale_response(self):
+        node = make_node(id=0.5, l=0.4, r=0.6, ring=0.9)
+        node.update_ring(0.95, Collector())
+        assert node.state.ring == 0.9  # untouched

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a release where they crash is
+broken regardless of the test suite.  Each runs in a subprocess with
+small arguments.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "name,args,expect",
+    [
+        ("quickstart.py", ("3",), "Phase convergence"),
+        ("p2p_overlay_churn.py", ("5",), "events absorbed"),
+        ("routing_comparison.py", ("256", "1"), "Greedy routing comparison"),
+        ("adversarial_recovery.py", ("2",), "Transient fault"),
+        ("harmonic_emergence.py", ("128", "1"), "harmonic reference"),
+        ("watch_stabilization.py", ("32", "1"), "sorted ring reached"),
+        ("lossy_network.py", ("16", "3"), "Message loss sweep"),
+    ],
+)
+def test_example_runs(name, args, expect):
+    stdout = run_example(name, *args)
+    assert expect in stdout

@@ -1,0 +1,202 @@
+"""Smoke tests for every experiment driver plus the registry and CLI.
+
+Each driver runs at tiny scale: the goal is exercising the full code path
+(rows produced, notes produced, params recorded), not statistical power —
+the benchmarks run the real sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.common import ExperimentResult, seed_rng
+
+
+class TestRegistry:
+    def test_all_twenty_present(self):
+        assert len(EXPERIMENTS) == 20
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 21)]
+
+    def test_lookup(self):
+        assert get_experiment("e03").id == "e03"
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="e01"):
+            get_experiment("nope")
+
+
+class TestSeedRng:
+    def test_deterministic(self):
+        a = seed_rng(1, "x", 2).random(4)
+        b = seed_rng(1, "x", 2).random(4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_parts_distinct_streams(self):
+        a = seed_rng(1, "x").random(4)
+        b = seed_rng(1, "y").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_floats_and_bools_supported(self):
+        seed_rng(0.5, True, 3)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            seed_rng(object())
+
+
+class TestDrivers:
+    def test_e01(self):
+        res = get_experiment("e01").run(sizes=(12,), topologies=("random_tree",), trials=1)
+        assert res.rows and res.notes
+        assert res.rows[0]["n"] == 12
+
+    def test_e02(self):
+        res = get_experiment("e02").run(n=12, topologies=("random_tree",), trials=1, extra_rounds=20)
+        assert all(r["regressions"] == 0 for r in res.rows)
+        assert "PASS" in res.notes[0]
+
+    def test_e03(self):
+        res = get_experiment("e03").run(n=512, trials=1)
+        assert len(res.rows) >= 4
+        assert all(r["mean_hops"] >= 1 for r in res.rows)
+
+    def test_e04(self):
+        res = get_experiment("e04").run(n=128, horizons=(500,), samples=20, sample_every=5)
+        assert res.rows[0]["slope"] < 0  # decreasing pmf
+
+    def test_e05(self):
+        res = get_experiment("e05").run(sizes=(64, 128, 256), queries=100, process_horizon=500)
+        for row in res.rows:
+            assert row["harmonic"] <= row["ring"]
+
+    def test_e06(self):
+        res = get_experiment("e06").run(sizes=(16, 32, 64), trials=1)
+        assert all(r["rounds_mean"] >= 1 for r in res.rows)
+
+    def test_e07(self):
+        res = get_experiment("e07").run(sizes=(16, 32, 64), trials=1)
+        scenarios = {r["scenario"] for r in res.rows}
+        assert scenarios == {"interior", "extremal_min"}
+
+    def test_e08(self):
+        res = get_experiment("e08").run(sizes=(32, 64, 128), warmup_rounds=5, measure_rounds=3)
+        for row in res.rows:
+            assert row["total"] > 3.0  # at least the O(1) maintenance
+
+    def test_e09(self):
+        res = get_experiment("e09").run(n=32, fractions=(0.1,), trials=1)
+        assert res.rows[0]["giant_fraction_mean"] > 0.8
+
+    def test_e10(self):
+        res = get_experiment("e10").run(sizes=(16,), topologies=("line",), trials=1)
+        assert res.rows[0]["rounds_with"] >= 1
+
+    def test_e11(self):
+        res = get_experiment("e11").run(n=64, horizon=500, samples=5, lifetime_draws=20_000)
+        # Lifetime empirics must track the closed form tightly.
+        for row in res.rows[:4]:
+            assert row["lifetime_emp"] == pytest.approx(row["lifetime_ref"], abs=0.02)
+
+    def test_e12(self):
+        res = get_experiment("e12").run(n=64, k=4, p_points=3, trials=1)
+        assert res.rows[0]["C_over_C0"] == pytest.approx(1.0, abs=0.2)
+
+    def test_e13(self):
+        res = get_experiment("e13").run(
+            sizes=(256, 1024), alphas=(0.0, 1.0, 2.0), queries=200
+        )
+        a1 = next(r for r in res.rows if r["alpha"] == 1.0)
+        a2 = next(r for r in res.rows if r["alpha"] == 2.0)
+        assert a1["n=1024"] < a2["n=1024"]  # harmonic beats too-local links
+
+    def test_e14(self):
+        res = get_experiment("e14").run(sides=(8, 16), queries=200, horizon_factor=5)
+        for row in res.rows:
+            assert row["harmonic2d"] <= row["lattice_only"]
+
+    def test_e15(self):
+        res = get_experiment("e15").run(n=24, trials=1)
+        assert res.rows[-1]["sorted_pair_fraction"] == 1.0
+        assert res.rows[-1]["lcp_total_length"] == 0.0
+        assert "1/1" in res.notes[0]
+
+    def test_e16(self):
+        res = get_experiment("e16").run(n=256, queries=200, fractions=(0.0, 0.1))
+        clean = res.rows[0]
+        assert clean["sw_success"] == 1.0 and clean["chord_success"] == 1.0
+        assert clean["chord_hops"] < clean["sw_hops"]
+
+    def test_e17(self):
+        res = get_experiment("e17").run(
+            n=32, rates=(0.02, 0.5), rounds=80, trials=1
+        )
+        low, high = res.rows
+        assert low["ring_availability"] >= high["ring_availability"]
+        assert low["pair_fraction"] >= high["pair_fraction"]
+        assert high["pair_fraction"] > 0.3  # local, not global, degradation
+
+    def test_e18(self):
+        res = get_experiment("e18").run(
+            sizes=(16, 32, 64), topologies=("random_tree",), trials=1
+        )
+        assert len(res.rows) == 3
+        assert all(r["messages_total_mean"] > 0 for r in res.rows)
+        assert any("n^" in note for note in res.notes)
+
+    def test_e19(self):
+        res = get_experiment("e19").run(
+            n=128, epsilons=(0.1, 1.0), horizon=1000, queries=100
+        )
+        small, large = res.rows
+        assert small["E_lifetime"] > large["E_lifetime"]
+        assert small["stationary_tail"] > large["stationary_tail"]
+
+    def test_e20(self):
+        res = get_experiment("e20").run(
+            n=16, topologies=("random_tree",), schedulers=("sync", "delay"), trials=1
+        )
+        assert len(res.rows) == 2
+        assert all(r["rounds_mean"] >= 1 for r in res.rows)
+
+
+class TestResultRendering:
+    def test_table_contains_claim_and_notes(self):
+        res = ExperimentResult(
+            experiment="eXX",
+            title="T",
+            claim="C",
+            params={"n": 1},
+            rows=[{"a": 1.5}],
+            notes=["note-1"],
+        )
+        text = res.table()
+        assert "T" in text and "C" in text and "note-1" in text and "a" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e12" in out
+
+    def test_run_single(self, capsys):
+        code = main(["run", "e12", "n=64", "k=4", "p_points=3", "trials=1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[e12]" in out and "elapsed" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "zzz"]) == 2
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e12", "oops"])
+
+    def test_param_parsing_tuples(self, capsys):
+        code = main(
+            ["run", "e05", "sizes=64,128,256", "queries=50", "process_horizon=200"]
+        )
+        assert code == 0

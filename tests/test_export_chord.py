@@ -1,0 +1,145 @@
+"""Unit tests for result export and the Chord-style baseline."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import result_to_csv, result_to_json, write_result
+from repro.baselines.chord_like import (
+    chord_fingers,
+    chord_route_hops,
+    greedy_route_with_failures,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture()
+def sample_result():
+    return ExperimentResult(
+        experiment="eXX",
+        title="Sample",
+        claim="claim",
+        params={"n": 4, "sizes": (1, 2)},
+        rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}],
+        notes=["note"],
+    )
+
+
+class TestExport:
+    def test_json_roundtrip(self, sample_result):
+        payload = json.loads(result_to_json(sample_result))
+        assert payload["experiment"] == "eXX"
+        assert payload["rows"][0]["a"] == 1
+        assert payload["params"]["sizes"] == [1, 2]
+        assert payload["notes"] == ["note"]
+
+    def test_csv_union_columns(self, sample_result):
+        text = result_to_csv(sample_result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1].startswith("1,2.5")
+        assert len(lines) == 3
+
+    def test_csv_empty(self):
+        empty = ExperimentResult("e", "t", "c", {})
+        assert result_to_csv(empty) == ""
+
+    def test_write_result_json(self, sample_result, tmp_path):
+        path = tmp_path / "out.json"
+        write_result(sample_result, str(path))
+        assert json.loads(path.read_text())["title"] == "Sample"
+
+    def test_write_result_csv(self, sample_result, tmp_path):
+        path = tmp_path / "out.csv"
+        write_result(sample_result, str(path))
+        assert path.read_text().startswith("a,b,c")
+
+    def test_write_result_bad_extension(self, sample_result, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            write_result(sample_result, str(tmp_path / "out.txt"))
+
+
+class TestChordFingers:
+    def test_shape_and_values(self):
+        fingers = chord_fingers(16)
+        assert fingers.shape == (16, 4)
+        assert fingers[0].tolist() == [1, 2, 4, 8]
+        assert fingers[15].tolist() == [0, 1, 3, 7]
+
+    def test_non_power_of_two(self):
+        fingers = chord_fingers(10)
+        assert fingers.shape == (10, 4)  # ceil(log2 10) = 4
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            chord_fingers(1)
+
+
+class TestChordRouting:
+    def test_hops_bounded_by_log(self, rng):
+        n = 1024
+        src = rng.integers(0, n, 500)
+        dst = rng.integers(0, n, 500)
+        hops = chord_route_hops(n, src, dst)
+        assert hops.max() <= int(np.ceil(np.log2(n)))
+        assert ((hops == 0) == (src == dst)).all()
+
+    def test_exact_power_distance_is_one_hop(self):
+        hops = chord_route_hops(16, np.array([0, 0, 0]), np.array([1, 4, 8]))
+        assert hops.tolist() == [1, 1, 1]
+
+    def test_wraparound(self):
+        hops = chord_route_hops(16, np.array([15]), np.array([0]))
+        assert hops[0] == 1  # finger 15+1 mod 16
+
+
+class TestFailureAwareRouting:
+    def test_all_alive_matches_plain_greedy(self, rng):
+        n = 64
+        idx = np.arange(n)
+        neighbors = np.stack([(idx - 1) % n, (idx + 1) % n], axis=1)
+        src = rng.integers(0, n, 100)
+        dst = rng.integers(0, n, 100)
+        hops, ok = greedy_route_with_failures(
+            n, neighbors, np.ones(n, dtype=bool), src, dst
+        )
+        assert ok.all()
+        d = np.abs(src - dst)
+        assert np.array_equal(hops, np.minimum(d, n - d))
+
+    def test_dead_source_or_target_fails(self):
+        n = 8
+        idx = np.arange(n)
+        neighbors = np.stack([(idx - 1) % n, (idx + 1) % n], axis=1)
+        alive = np.ones(n, dtype=bool)
+        alive[3] = False
+        _, ok = greedy_route_with_failures(
+            n, neighbors, alive, np.array([3, 0]), np.array([5, 3])
+        )
+        assert not ok[0] and not ok[1]
+
+    def test_dead_end_detected(self):
+        """Ring cut on both sides of the source: no progress possible."""
+        n = 8
+        idx = np.arange(n)
+        neighbors = np.stack([(idx - 1) % n, (idx + 1) % n], axis=1)
+        alive = np.ones(n, dtype=bool)
+        alive[1] = alive[7] = False  # isolate node 0
+        hops, ok = greedy_route_with_failures(
+            n, neighbors, alive, np.array([0]), np.array([4])
+        )
+        assert not ok[0]
+
+    def test_padding_minus_one_ignored(self, rng):
+        n = 16
+        idx = np.arange(n)
+        neighbors = np.stack(
+            [(idx - 1) % n, (idx + 1) % n, np.full(n, -1)], axis=1
+        )
+        _, ok = greedy_route_with_failures(
+            n, neighbors, np.ones(n, dtype=bool), np.array([0]), np.array([8])
+        )
+        assert ok[0]

@@ -1,0 +1,138 @@
+"""Unit tests for phase predicates and the stable-state builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.core.state import NodeState
+from repro.graphs.build import MATURE_AGE, stable_ring_states, wire_sorted_ring
+from repro.graphs.predicates import (
+    cc_weakly_connected,
+    is_sorted_list,
+    is_sorted_ring,
+    lcc_weakly_connected,
+    lrl_links_live,
+    phase_predicates,
+)
+from repro.ids import NEG_INF, POS_INF, generate_ids
+
+
+def states_map(states):
+    return {s.id: s for s in states}
+
+
+class TestSortedList:
+    def test_stable_ring_is_sorted_list(self):
+        assert is_sorted_list(states_map(stable_ring_states(5)))
+
+    def test_single_node(self):
+        assert is_sorted_list({0.5: NodeState(id=0.5)})
+
+    def test_empty_is_not(self):
+        assert not is_sorted_list({})
+
+    def test_broken_r_link(self):
+        states = states_map(stable_ring_states(5))
+        ordered = sorted(states)
+        states[ordered[1]].r = ordered[3]  # skips a node
+        assert not is_sorted_list(states)
+
+    def test_broken_l_link(self):
+        states = states_map(stable_ring_states(5))
+        ordered = sorted(states)
+        states[ordered[2]].l = NEG_INF
+        assert not is_sorted_list(states)
+
+    def test_min_must_have_no_left(self):
+        states = states_map(stable_ring_states(3))
+        ordered = sorted(states)
+        # corrupt: give min a bogus l — unrepresentable (l < id always),
+        # instead corrupt max's r.
+        states[ordered[-1]].r = POS_INF
+        assert is_sorted_list(states)  # that *is* the legitimate value
+
+
+class TestSortedRing:
+    def test_stable_ring(self):
+        assert is_sorted_ring(states_map(stable_ring_states(5)))
+
+    def test_requires_ring_edges(self):
+        states = states_map(wire_sorted_ring([0.1, 0.5, 0.9]))
+        states[0.1].ring = None
+        assert not is_sorted_ring(states)
+
+    def test_wrong_ring_endpoint(self):
+        states = states_map(wire_sorted_ring([0.1, 0.5, 0.9]))
+        states[0.1].ring = 0.5
+        assert not is_sorted_ring(states)
+
+    def test_single_node_ring(self):
+        assert is_sorted_ring({0.5: NodeState(id=0.5)})
+
+    def test_two_node_ring(self):
+        states = states_map(wire_sorted_ring([0.2, 0.8]))
+        assert is_sorted_ring(states)
+
+
+class TestConnectivityPredicates:
+    def test_stable_network_lcc_connected(self, small_ring):
+        net, _ = small_ring
+        assert lcc_weakly_connected(net)
+        assert cc_weakly_connected(net)
+
+    def test_empty_network(self):
+        net = build_network([], ProtocolConfig())
+        assert not lcc_weakly_connected(net)
+        assert not cc_weakly_connected(net)
+
+    def test_lrl_links_live(self, small_ring):
+        net, _ = small_ring
+        assert lrl_links_live(net)
+
+    def test_phase_predicate_names(self):
+        preds = phase_predicates()
+        assert len(preds) == 4
+        assert len(phase_predicates(include_phase4=False)) == 3
+
+
+class TestStableRingStates:
+    def test_wiring(self):
+        states = stable_ring_states(4)
+        assert states[0].l == NEG_INF and states[-1].r == POS_INF
+        assert states[0].ring == states[-1].id
+        assert states[-1].ring == states[0].id
+        for i in range(3):
+            assert states[i].r == states[i + 1].id
+            assert states[i + 1].l == states[i].id
+
+    def test_lrl_self_mode(self):
+        assert all(s.lrl == s.id for s in stable_ring_states(5))
+
+    def test_lrl_harmonic_mode(self, rng):
+        states = stable_ring_states(64, lrl="harmonic", rng=rng)
+        assert any(s.lrl != s.id for s in states)
+        assert all(s.age == MATURE_AGE for s in states)
+
+    def test_lrl_uniform_mode(self, rng):
+        states = stable_ring_states(64, lrl="uniform", rng=rng)
+        targets = {s.lrl for s in states}
+        assert len(targets) > 8
+
+    def test_random_modes_need_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            stable_ring_states(8, lrl="harmonic")
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(ValueError, match="unknown lrl mode"):
+            stable_ring_states(8, lrl="nope", rng=rng)
+
+    def test_explicit_ids(self, rng):
+        ids = generate_ids(10, rng)
+        states = stable_ring_states(0, ids=ids)
+        assert [s.id for s in states] == sorted(ids)
+
+    def test_harmonic_network_is_sorted_ring(self, rng):
+        states = stable_ring_states(32, lrl="harmonic", rng=rng)
+        assert is_sorted_ring(states_map(states))

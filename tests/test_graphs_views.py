@@ -1,0 +1,95 @@
+"""Unit tests for the connectivity graph views (Definition 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import lin, probr, ring
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.graphs.views import (
+    cc_graph,
+    cp_graph,
+    lcc_graph,
+    lcp_graph,
+    rcc_graph,
+    rcp_graph,
+)
+from repro.sim.network import Network
+
+
+@pytest.fixture()
+def net():
+    cfg = ProtocolConfig()
+    a = NodeState(id=0.1, r=0.5, lrl=0.9)
+    b = NodeState(id=0.5, l=0.1, r=0.9, lrl=0.5)
+    c = NodeState(id=0.9, l=0.5, lrl=0.9, ring=0.1)
+    return Network((Node(s, cfg) for s in (a, b, c)))
+
+
+class TestStoredViews:
+    def test_lcp_contains_only_list_links(self, net):
+        g = lcp_graph(net)
+        assert g.has_edge(0.1, 0.5) and g.has_edge(0.5, 0.1)
+        assert g.has_edge(0.5, 0.9) and g.has_edge(0.9, 0.5)
+        assert not g.has_edge(0.1, 0.9)  # the lrl is not a list link
+        assert not g.has_edge(0.9, 0.1)  # nor the ring edge
+
+    def test_rcp_adds_ring_links(self, net):
+        g = rcp_graph(net)
+        assert g.has_edge(0.9, 0.1)
+
+    def test_cp_adds_lrl_links(self, net):
+        g = cp_graph(net)
+        assert g.has_edge(0.1, 0.9)
+
+    def test_self_links_excluded(self, net):
+        # b.lrl = b and c.lrl = c: tokens at home are not edges.
+        assert not cp_graph(net).has_edge(0.5, 0.5)
+
+    def test_all_nodes_present_even_if_isolated(self):
+        net = Network([Node(NodeState(id=0.3), ProtocolConfig())])
+        assert set(lcp_graph(net).nodes) == {0.3}
+
+
+class TestMessageViews:
+    def test_lcc_includes_lin_payloads(self, net):
+        net.send(0.1, lin(0.9))
+        g_staged = lcc_graph(net)
+        assert g_staged.has_edge(0.1, 0.9)  # staged counts
+        net.flush()
+        g_channel = lcc_graph(net)
+        assert g_channel.has_edge(0.1, 0.9)  # in-channel counts too
+
+    def test_lcc_ignores_probe_messages(self, net):
+        net.send(0.1, probr(0.9))
+        assert not lcc_graph(net).has_edge(0.1, 0.9)
+
+    def test_rcc_includes_ring_messages(self, net):
+        net.send(0.5, ring(0.9))
+        g = rcc_graph(net)
+        assert g.has_edge(0.5, 0.9)
+
+    def test_cc_includes_everything(self, net):
+        net.send(0.1, probr(0.9))
+        assert cc_graph(net).has_edge(0.1, 0.9)
+
+    def test_lcp_subset_of_lcc_subset_of_cc(self, net):
+        net.send(0.1, lin(0.9))
+        lcp = set(lcp_graph(net).edges)
+        lcc = set(lcc_graph(net).edges)
+        cc = set(cc_graph(net).edges)
+        assert lcp <= lcc <= cc
+
+
+class TestLiveOnly:
+    def test_dangling_reference_included_by_default(self):
+        cfg = ProtocolConfig()
+        net = Network([Node(NodeState(id=0.1, r=0.5), cfg)])
+        assert cp_graph(net).has_edge(0.1, 0.5)
+
+    def test_live_only_filters_dangling(self):
+        cfg = ProtocolConfig()
+        net = Network([Node(NodeState(id=0.1, r=0.5), cfg)])
+        assert not cp_graph(net, live_only=True).has_edge(0.1, 0.5)

@@ -1,0 +1,125 @@
+"""Unit tests for the identifier algebra (repro.ids)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ids as I
+
+
+class TestValidation:
+    def test_valid_ids(self):
+        assert I.is_valid_id(0.0)
+        assert I.is_valid_id(0.5)
+        assert I.is_valid_id(0.999999)
+
+    def test_invalid_ids(self):
+        assert not I.is_valid_id(1.0)
+        assert not I.is_valid_id(-0.1)
+        assert not I.is_valid_id(float("nan"))
+        assert not I.is_valid_id(float("inf"))
+        assert not I.is_valid_id("0.5")
+        assert not I.is_valid_id(None)
+
+    def test_require_id_passes_through(self):
+        assert I.require_id(0.25) == 0.25
+
+    def test_require_id_rejects_sentinels(self):
+        with pytest.raises(ValueError, match="identifier"):
+            I.require_id(I.POS_INF)
+        with pytest.raises(ValueError):
+            I.require_id(I.NEG_INF)
+
+    def test_require_id_custom_label(self):
+        with pytest.raises(ValueError, match="lrl"):
+            I.require_id(2.0, what="lrl")
+
+
+class TestSentinels:
+    def test_is_real(self):
+        assert I.is_real(0.5)
+        assert not I.is_real(I.NEG_INF)
+        assert not I.is_real(I.POS_INF)
+
+    def test_is_sentinel(self):
+        assert I.is_sentinel(I.NEG_INF)
+        assert I.is_sentinel(I.POS_INF)
+        assert not I.is_sentinel(0.0)
+
+    def test_between_with_sentinels(self):
+        assert I.between(I.NEG_INF, 0.5, I.POS_INF)
+        assert I.strictly_between(I.NEG_INF, 0.0, 0.1)
+        assert not I.strictly_between(0.2, 0.2, 0.3)
+
+
+class TestGeneration:
+    def test_generate_ids_count_and_range(self, rng):
+        out = I.generate_ids(100, rng)
+        assert len(out) == 100
+        assert all(0.0 <= v < 1.0 for v in out)
+
+    def test_generate_ids_unique(self, rng):
+        out = I.generate_ids(1000, rng)
+        assert len(set(out)) == 1000
+
+    def test_generate_ids_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            I.generate_ids(0, rng)
+
+    def test_evenly_spaced(self):
+        out = I.evenly_spaced_ids(4)
+        assert out == [0.0, 0.25, 0.5, 0.75]
+
+    def test_evenly_spaced_rejects_zero(self):
+        with pytest.raises(ValueError):
+            I.evenly_spaced_ids(0)
+
+
+class TestOrderHelpers:
+    def test_sort_unique(self):
+        assert I.sort_unique([0.3, 0.1, 0.2]) == [0.1, 0.2, 0.3]
+
+    def test_sort_unique_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            I.sort_unique([0.1, 0.1])
+
+    def test_rank_of(self):
+        ordered = [0.1, 0.2, 0.5]
+        assert I.rank_of(0.1, ordered) == 0
+        assert I.rank_of(0.5, ordered) == 2
+
+    def test_rank_of_missing(self):
+        with pytest.raises(KeyError):
+            I.rank_of(0.3, [0.1, 0.2])
+
+    def test_ranks(self):
+        assert I.ranks([0.5, 0.1]) == {0.1: 0, 0.5: 1}
+
+    def test_link_length_adjacent_is_zero(self):
+        ordered = [0.1, 0.2, 0.3, 0.4]
+        assert I.link_length(0.1, 0.2, ordered) == 0
+        assert I.link_length(0.2, 0.1, ordered) == 0
+
+    def test_link_length_counts_strictly_between(self):
+        ordered = [0.1, 0.2, 0.3, 0.4]
+        assert I.link_length(0.1, 0.4, ordered) == 2
+
+    def test_link_length_self(self):
+        assert I.link_length(0.1, 0.1, [0.1, 0.2]) == 0
+
+    def test_ring_distance_wraps(self):
+        ordered = [0.0, 0.25, 0.5, 0.75]
+        assert I.ring_distance(0.0, 0.75, ordered) == 1
+        assert I.ring_distance(0.0, 0.5, ordered) == 2
+
+    def test_ring_distance_symmetric(self, rng):
+        ordered = sorted(I.generate_ids(17, rng))
+        a, b = ordered[3], ordered[11]
+        assert I.ring_distance(a, b, ordered) == I.ring_distance(b, a, ordered)
+
+
+class TestNumpyCompat:
+    def test_numpy_floats_accepted(self):
+        assert I.is_valid_id(np.float64(0.5))
+        assert I.require_id(np.float64(0.5)) == 0.5

@@ -1,0 +1,97 @@
+"""Tests for paranoid-mode invariant checking, and paranoid integration runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import lin
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_ring
+from repro.sim.engine import Simulator
+from repro.sim.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_network_invariants,
+)
+from repro.sim.schedulers import AsyncScheduler, SynchronousScheduler
+from repro.topology.generators import TOPOLOGIES
+
+
+class TestChecks:
+    def test_stable_network_passes(self):
+        net = build_network(stable_ring_states(8), ProtocolConfig())
+        check_network_invariants(net)
+
+    def test_nonmember_stored_link_detected(self):
+        states = stable_ring_states(6)
+        states[2].lrl = 0.987654  # not a member
+        net = build_network(states, ProtocolConfig())
+        with pytest.raises(InvariantViolation, match="lrl"):
+            check_network_invariants(net)
+
+    def test_nonmember_payload_detected(self):
+        states = stable_ring_states(6)
+        net = build_network(states, ProtocolConfig())
+        net.send(states[0].id, lin(0.987654))
+        with pytest.raises(InvariantViolation, match="non-member"):
+            check_network_invariants(net)
+
+    def test_membership_check_can_be_disabled(self):
+        states = stable_ring_states(6)
+        states[2].lrl = 0.987654
+        net = build_network(states, ProtocolConfig())
+        check_network_invariants(net, check_membership=False)
+
+
+class TestParanoidRuns:
+    """Full stabilization under the invariant-checking scheduler."""
+
+    @pytest.mark.parametrize("name", ["random_tree", "star", "corrupted_ring"])
+    def test_sync_stabilization_paranoid(self, name):
+        rng = np.random.default_rng(hash(name) % 1000)
+        net = build_network(TOPOLOGIES[name](24, rng), ProtocolConfig())
+        checker = InvariantChecker(SynchronousScheduler())
+        sim = Simulator(net, rng, scheduler=checker)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=5000,
+            what=f"paranoid {name}",
+        )
+        assert checker.checked > 0
+
+    def test_async_stabilization_paranoid(self):
+        rng = np.random.default_rng(77)
+        net = build_network(TOPOLOGIES["random_tree"](20, rng), ProtocolConfig())
+        checker = InvariantChecker(AsyncScheduler())
+        sim = Simulator(net, rng, scheduler=checker)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=8000,
+            what="paranoid async",
+        )
+
+    def test_churn_with_membership_checks_relaxed(self):
+        """During churn the membership clause is transiently violated by
+        design (purges run inside leave_node), so the checker keeps only
+        the structural invariants."""
+        from repro.churn import join_node, leave_node
+        from repro.ids import generate_ids
+
+        rng = np.random.default_rng(42)
+        states = stable_ring_states(
+            16, lrl="harmonic", rng=rng, ids=generate_ids(16, rng)
+        )
+        net = build_network(states, ProtocolConfig())
+        checker = InvariantChecker(SynchronousScheduler(), check_membership=False)
+        sim = Simulator(net, rng, scheduler=checker)
+        sim.run(5)
+        leave_node(net, net.ids[7])
+        new_id = generate_ids(1, rng)[0]
+        join_node(net, new_id, net.ids[0])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=2000,
+            what="paranoid churn",
+        )

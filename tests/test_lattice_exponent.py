@@ -1,0 +1,97 @@
+"""Unit tests for the exponent-family links and the 2-D torus routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exponent import power_law_lrl_ranks, power_law_offset_pmf
+from repro.moveforget.harmonic import harmonic_offset_pmf
+from repro.routing.lattice import (
+    greedy_route_torus,
+    harmonic2d_lrl,
+    torus_l1_distance,
+)
+
+
+class TestPowerLawPmf:
+    def test_alpha_zero_is_uniform(self):
+        pmf = power_law_offset_pmf(10, 0.0)
+        assert np.allclose(pmf, 1.0 / 9)
+
+    def test_alpha_one_is_harmonic(self):
+        assert np.allclose(power_law_offset_pmf(64, 1.0), harmonic_offset_pmf(64))
+
+    def test_higher_alpha_concentrates_short(self):
+        p1 = power_law_offset_pmf(100, 1.0)
+        p2 = power_law_offset_pmf(100, 2.0)
+        assert p2[0] > p1[0]  # more mass at distance 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law_offset_pmf(1, 1.0)
+        with pytest.raises(ValueError):
+            power_law_offset_pmf(10, -0.5)
+
+    def test_ranks_never_self(self, rng):
+        lrl = power_law_lrl_ranks(50, 1.5, rng)
+        assert (lrl != np.arange(50)).all()
+
+
+class TestTorusDistance:
+    def test_axis_distances(self):
+        m = 8
+        a = np.array([0])
+        assert torus_l1_distance(a, np.array([1 * m + 0]), m)[0] == 1  # +x
+        assert torus_l1_distance(a, np.array([0 * m + 1]), m)[0] == 1  # +y
+        assert torus_l1_distance(a, np.array([7 * m + 7]), m)[0] == 2  # wrap both
+
+    def test_symmetry(self, rng):
+        m = 16
+        a = rng.integers(0, m * m, 50)
+        b = rng.integers(0, m * m, 50)
+        assert np.array_equal(
+            torus_l1_distance(a, b, m), torus_l1_distance(b, a, m)
+        )
+
+    def test_max_distance_is_diameter(self):
+        m = 8
+        a = np.arange(m * m)
+        d = torus_l1_distance(a, np.zeros_like(a), m)
+        assert d.max() == m  # 2 * (m // 2)
+
+
+class TestTorusRouting:
+    def test_lattice_only_equals_l1(self, rng):
+        m = 12
+        src = rng.integers(0, m * m, 50)
+        dst = rng.integers(0, m * m, 50)
+        hops = greedy_route_torus(m, None, src, dst)
+        assert np.array_equal(hops, torus_l1_distance(src, dst, m))
+
+    def test_shortcut_helps(self):
+        m = 16
+        n = m * m
+        lrl = np.arange(n)
+        antipode = (m // 2) * m + (m // 2)
+        lrl[0] = antipode
+        hops = greedy_route_torus(m, lrl, np.array([0]), np.array([antipode]))
+        assert hops[0] == 1
+
+    def test_harmonic2d_beats_lattice(self, rng):
+        m = 32
+        n = m * m
+        src = rng.integers(0, n, 300)
+        dst = rng.integers(0, n, 300)
+        with_links = greedy_route_torus(m, harmonic2d_lrl(m, rng), src, dst)
+        bare = greedy_route_torus(m, None, src, dst)
+        assert with_links.mean() < 0.7 * bare.mean()
+        assert (with_links <= bare).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            greedy_route_torus(1, None, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            greedy_route_torus(4, None, np.array([99]), np.array([0]))
+        with pytest.raises(ValueError):
+            greedy_route_torus(4, np.zeros(3, dtype=int), np.array([0]), np.array([1]))

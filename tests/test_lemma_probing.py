@@ -1,0 +1,100 @@
+"""Focused tests of the Phase-1 probing lemmas (Lemmas 4.4–4.7).
+
+Lemma 4.4: if ``u`` and ``u.lrl`` are not connected by a list path inside
+their interval, probing eventually creates one.  Lemma 4.5: once they are,
+unsuccessful probings add no further links.  We build the lemma's exact
+scenario — two disjoint sorted segments bridged only by one long-range
+link — and watch probing stitch them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import wire_sorted_ring
+from repro.graphs.predicates import is_sorted_ring
+from repro.ids import NEG_INF, POS_INF
+from repro.sim.engine import Simulator
+
+
+def two_segments_bridged_by_lrl(n_per_segment=8):
+    """Segment A (ids .0x) and segment B (ids .5x), each internally a
+    sorted list, connected ONLY by A's last node's long-range link into B."""
+    a_ids = [0.01 + i * 0.01 for i in range(n_per_segment)]
+    b_ids = [0.51 + i * 0.01 for i in range(n_per_segment)]
+    a_states = wire_sorted_ring(a_ids)
+    b_states = wire_sorted_ring(b_ids)
+    # Undo the intra-segment ring edges: these are *lists*, not rings.
+    for s in a_states + b_states:
+        s.ring = None
+    # The single bridge: the top of A points its lrl into the middle of B.
+    bridge_owner = a_states[-1]
+    bridge_target = b_ids[n_per_segment // 2]
+    bridge_owner.lrl = bridge_target
+    bridge_owner.age = 10**6  # mature: must not be forgotten mid-test
+    return a_states + b_states, bridge_owner.id, bridge_target
+
+
+class TestLemma44:
+    def test_probing_bridges_disconnected_interval(self):
+        states, owner, target = two_segments_bridged_by_lrl()
+        net = build_network(states, ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(3))
+        # The probe toward the lrl fails at the top of segment A (owner has
+        # r = +inf there) and must convert into a list link, after which
+        # linearization merges the segments into one sorted ring.
+        rounds = sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=4000,
+            what="lemma 4.4 bridge",
+        )
+        assert rounds >= 1
+        # The two segments are now one list: A's max links toward B.
+        st = net.states()
+        ordered = sorted(st)
+        for x, y in zip(ordered, ordered[1:]):
+            assert st[x].r == y
+
+    def test_first_repair_happens_at_the_probe_origin(self):
+        """The owner itself repairs first: its own probing() sees
+        p < lrl < p.r = +inf and adopts the target (Algorithm 10)."""
+        states, owner, target = two_segments_bridged_by_lrl()
+        net = build_network(states, ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(5))
+        sim.step_round()
+        assert net.states()[owner].r == target
+
+
+class TestLemma45:
+    def test_no_links_added_once_connected(self):
+        """In the stable ring with frozen links, 200 rounds of probing
+        change no stored l/r edge (successful probes are silent)."""
+        from repro.graphs.build import stable_ring_states
+
+        rng = np.random.default_rng(7)
+        states = stable_ring_states(32, lrl="harmonic", rng=rng)
+        # Freeze the long-range layer so only probing runs against it.
+        net = build_network(states, ProtocolConfig(move_and_forget=False))
+        sim = Simulator(net, rng)
+        before = {
+            i: (s.l, s.r) for i, s in net.states().items()
+        }
+        sim.run(200)
+        after = {i: (s.l, s.r) for i, s in net.states().items()}
+        assert before == after
+
+    def test_ring_probe_silent_in_stable_state(self):
+        """Min's probe to max and max's to min succeed without effect."""
+        from repro.graphs.build import stable_ring_states
+
+        rng = np.random.default_rng(9)
+        states = stable_ring_states(16, lrl="harmonic", rng=rng)
+        net = build_network(states, ProtocolConfig(move_and_forget=False))
+        sim = Simulator(net, rng)
+        lo, hi = net.ids[0], net.ids[-1]
+        sim.run(100)
+        st = net.states()
+        assert st[lo].ring == hi and st[hi].ring == lo
+        assert st[lo].l == NEG_INF and st[hi].r == POS_INF

@@ -1,0 +1,161 @@
+"""Additional end-to-end scenarios and CLI export coverage."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.churn import join_node, leave_node
+from repro.cli import main
+from repro.core.messages import (
+    MessageType,
+    inclrl,
+    lin,
+    probl,
+    probr,
+    reslrl,
+    resring,
+    ring,
+)
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.core.state import NodeState
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_ring
+from repro.ids import generate_ids
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+
+
+def stable_sim(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    states = stable_ring_states(n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng))
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, rng)
+    sim.run(5)
+    return net, sim, rng
+
+
+class TestDispatch:
+    """Algorithm 1: every message type reaches its handler (trace-verified)."""
+
+    def test_all_types_dispatch_without_error(self):
+        trace = Trace()
+        cfg = ProtocolConfig(trace=trace)
+        state = NodeState(id=0.5)
+        state.corrupt(l=0.4, r=0.6, lrl=0.7, ring=None)
+        node = Node(state, cfg)
+        rng = np.random.default_rng(0)
+        sent = []
+        for m in (
+            lin(0.3),
+            inclrl(0.2),
+            reslrl(0.7, 0.65, 0.75),
+            ring(0.1),
+            resring(0.9),
+            probr(0.9),
+            probl(0.1),
+        ):
+            node.on_message(m, lambda d, msg: sent.append((d, msg)), rng)
+        received = {e.message.type for e in trace.receives()}
+        assert received == set(MessageType)
+
+
+class TestChurnScenarios:
+    def test_join_as_new_maximum(self):
+        net, sim, rng = stable_sim(seed=41)
+        ids = net.ids
+        new_id = (ids[-1] + 1.0) / 2  # larger than the current maximum
+        join_node(net, new_id, ids[0])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=2000, what="join-max"
+        )
+        states = net.states()
+        assert states[new_id].r == float("inf")
+        assert states[new_id].ring == net.ids[0]
+
+    def test_two_adjacent_leaves(self):
+        """A double gap: both endpoints of a 2-node hole must reconnect."""
+        net, sim, rng = stable_sim(n=20, seed=43)
+        ids = net.ids
+        leave_node(net, ids[9])
+        leave_node(net, ids[10])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=4000,
+            what="adjacent leaves",
+        )
+        states = net.states()
+        assert states[ids[8]].r == ids[11]
+
+    def test_concurrent_joins(self):
+        net, sim, rng = stable_sim(n=16, seed=47)
+        ids = net.ids
+        for k in range(4):
+            new_id = float(rng.random())
+            while new_id in net:
+                new_id = float(rng.random())
+            join_node(net, new_id, ids[int(rng.integers(len(ids)))])
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=4000,
+            what="concurrent joins",
+        )
+        assert len(net) == 20
+
+    def test_leave_then_rejoin_same_id(self):
+        net, sim, rng = stable_sim(n=12, seed=53)
+        victim = net.ids[5]
+        left, right = net.ids[4], net.ids[6]
+        leave_node(net, victim)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=2000, what="leave"
+        )
+        join_node(net, victim, right)
+        sim.run_until(
+            lambda nw: is_sorted_ring(nw.states()), max_rounds=2000, what="rejoin"
+        )
+        states = net.states()
+        assert states[victim].l == left and states[victim].r == right
+
+
+class TestCliExport:
+    def test_out_json(self, tmp_path, capsys):
+        out = tmp_path / "e12.json"
+        code = main(
+            ["run", "e12", "n=64", "k=4", "p_points=3", "trials=1", f"out={out}"]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "e12"
+        assert payload["rows"]
+
+    def test_out_csv(self, tmp_path, capsys):
+        out = tmp_path / "e12.csv"
+        main(["run", "e12", "n=64", "k=4", "p_points=3", "trials=1", f"out={out}"])
+        assert out.read_text().startswith("p,")
+
+
+class TestDedupEquivalenceOfOutcome:
+    """Dedup on/off must reach the same sorted order (not the same path)."""
+
+    def test_same_final_ring(self):
+        from repro.topology.generators import random_tree_topology
+
+        rng = np.random.default_rng(59)
+        states = random_tree_topology(18, rng)
+        for dedup in (True, False):
+            net = build_network(
+                [s.copy() for s in states], ProtocolConfig(), dedup=dedup
+            )
+            sim = Simulator(net, np.random.default_rng(60))
+            sim.run_until(
+                lambda nw: is_sorted_ring(nw.states()),
+                max_rounds=5000,
+                what=f"dedup={dedup}",
+            )
+            ordered = net.ids
+            st = net.states()
+            assert st[ordered[0]].ring == ordered[-1]

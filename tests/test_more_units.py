@@ -1,0 +1,111 @@
+"""Additional unit coverage: views during churn, tables, trace filters,
+engine counters, and rarely-hit branches flagged while reviewing coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_rows, format_table
+from repro.core.messages import MessageType, lin, probr
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.views import cc_graph, lcc_graph
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace, TraceEvent, TraceKind
+
+
+class TestViewsDuringChurn:
+    def test_dangling_edges_survive_in_default_view(self):
+        from repro.churn.leave import leave_node
+
+        net = build_network(stable_ring_states(8), ProtocolConfig())
+        victim = net.ids[3]
+        # Remove WITHOUT the churn helper: stored references remain.
+        net.remove_node(victim)
+        g = cc_graph(net)
+        assert victim in {v for _, v in g.edges} or victim in g.nodes
+        g_live = cc_graph(net, live_only=True)
+        assert victim not in g_live.nodes
+
+    def test_clean_leave_leaves_no_trace_in_views(self):
+        from repro.churn.leave import leave_node
+
+        net = build_network(stable_ring_states(8), ProtocolConfig())
+        victim = net.ids[3]
+        leave_node(net, victim)
+        g = cc_graph(net)
+        for u, v in g.edges:
+            assert victim not in (u, v)
+
+    def test_lcc_reflects_staged_traffic_immediately(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        a, b = net.ids[0], net.ids[3]
+        assert not lcc_graph(net).has_edge(a, b)
+        net.send(a, lin(b))
+        assert lcc_graph(net).has_edge(a, b)
+
+
+class TestTraceFiltering:
+    def test_filters_compose(self):
+        trace = Trace()
+        trace.record(TraceEvent(TraceKind.SEND, 0.1, lin(0.5), 0.2))
+        trace.record(TraceEvent(TraceKind.SEND, 0.1, probr(0.5), 0.3))
+        trace.record(TraceEvent(TraceKind.RECEIVE, 0.2, lin(0.5)))
+        trace.record(TraceEvent(TraceKind.FORGET, 0.1))
+        assert len(trace.sends(node=0.1)) == 2
+        assert len(trace.sends(node=0.1, mtype=MessageType.LIN)) == 1
+        assert len(trace.sends(to=0.3)) == 1
+        assert len(trace.receives(mtype=MessageType.LIN)) == 1
+        assert len(trace.forgets(node=0.1)) == 1
+        assert len(trace) == 4
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestEngineCounters:
+    def test_round_index_advances(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(0))
+        sim.run(7)
+        assert sim.round_index == 7
+
+    def test_simulator_accepts_int_seed(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        sim = Simulator(net, 1234)
+        sim.run(2)
+
+    def test_simulator_accepts_none_seed(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        Simulator(net).run(1)
+
+
+class TestTablesEdgeCases:
+    def test_precision_control(self):
+        text = format_table(["x"], [[3.14159265]], precision=2)
+        assert "3.1" in text and "3.1415" not in text
+
+    def test_integral_floats_rendered_as_ints(self):
+        assert "42" in format_table(["x"], [[42.0]])
+        assert "42.0" not in format_table(["x"], [[42.0]])
+
+    def test_title_included(self):
+        assert format_table(["x"], [[1]], title="Hello").startswith("Hello")
+
+    def test_format_rows_explicit_columns(self):
+        text = format_rows([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestNetworkHistory:
+    def test_per_round_history(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig(), keep_history=True)
+        sim = Simulator(net, np.random.default_rng(0))
+        sim.run(3)
+        assert len(net.stats.history) == 3
+        assert all(isinstance(c, dict) for c in net.stats.history)
+
+    def test_repr_smoke(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        assert "Network" in repr(net)
+        assert "MessageStats" in repr(net.stats)

@@ -1,0 +1,181 @@
+"""Unit tests for the move-and-forget substrate (repro.moveforget)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moveforget.analysis import (
+    LengthHistogram,
+    age_survival_empirical,
+    collect_age_samples,
+    collect_length_histogram,
+)
+from repro.moveforget.harmonic import (
+    harmonic_length_pmf,
+    harmonic_normalizer,
+    harmonic_offset_pmf,
+    sample_harmonic_lengths,
+    sample_harmonic_offsets,
+)
+from repro.moveforget.process import LatticeMoveForgetProcess, RingMoveForgetProcess
+
+
+class TestHarmonicPmf:
+    def test_offset_pmf_sums_to_one(self):
+        for n in (2, 3, 10, 101):
+            assert harmonic_offset_pmf(n).sum() == pytest.approx(1.0)
+
+    def test_offset_pmf_symmetric(self):
+        pmf = harmonic_offset_pmf(10)  # offsets 1..9
+        assert pmf[0] == pytest.approx(pmf[-1])  # offset 1 vs 9 (both dist 1)
+        assert pmf[2] == pytest.approx(pmf[-3])
+
+    def test_length_pmf_proportional_to_inverse_distance(self):
+        n = 101  # odd: every distance has exactly two offsets
+        pmf = harmonic_length_pmf(n)
+        ratio = pmf[0] / pmf[9]  # P(d=1)/P(d=10)
+        assert ratio == pytest.approx(10.0, rel=1e-9)
+
+    def test_length_pmf_even_antipode_halved(self):
+        n = 10
+        pmf = harmonic_length_pmf(n)
+        # d=5 has one offset, d=1 has two: P(1)/P(5) = 2·5 = 10.
+        assert pmf[0] / pmf[4] == pytest.approx(10.0)
+
+    def test_normalizer_close_to_2_ln_n(self):
+        n = 10_000
+        assert harmonic_normalizer(n) == pytest.approx(2 * np.log(n), rel=0.1)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_offset_pmf(1)
+
+
+class TestHarmonicSampling:
+    def test_offsets_in_range(self, rng):
+        out = sample_harmonic_offsets(100, 10_000, rng)
+        assert out.min() >= 1 and out.max() <= 99
+
+    def test_empirical_matches_pmf(self, rng):
+        n = 50
+        out = sample_harmonic_offsets(n, 200_000, rng)
+        pmf = harmonic_offset_pmf(n)
+        emp = np.bincount(out, minlength=n)[1:] / out.size
+        assert np.max(np.abs(emp - pmf)) < 0.01
+
+    def test_lengths_in_range(self, rng):
+        out = sample_harmonic_lengths(100, 1000, rng)
+        assert out.min() >= 1 and out.max() <= 50
+
+    def test_zero_size(self, rng):
+        assert sample_harmonic_offsets(10, 0, rng).size == 0
+
+
+class TestRingProcess:
+    def test_initial_state_all_home(self, rng):
+        p = RingMoveForgetProcess(16, rng=rng)
+        assert np.array_equal(p.positions, p.owners)
+        assert (p.link_lengths() == 0).all()
+
+    def test_step_moves_every_token_by_one(self, rng):
+        p = RingMoveForgetProcess(64, rng=rng)
+        p.step()
+        # After one move, every token is at ring distance exactly 1 (no
+        # forget can fire at age 1).
+        assert (p.link_lengths() == 1).all()
+        assert (p.ages == 1).all()
+
+    def test_forgetting_happens(self, rng):
+        p = RingMoveForgetProcess(256, epsilon=0.1, rng=rng)
+        p.run(50)
+        assert p.forget_events > 0
+
+    def test_forgotten_tokens_reset_home(self, rng):
+        p = RingMoveForgetProcess(64, epsilon=0.5, rng=rng)
+        p.run(200)
+        home = p.positions == p.owners
+        assert home.any()  # with ε=0.5 many tokens reset recently
+        assert (p.ages[home & (p.ages == 0)] == 0).all()
+
+    def test_positions_wrap(self, rng):
+        p = RingMoveForgetProcess(4, rng=rng)
+        p.run(100)
+        assert p.positions.min() >= 0 and p.positions.max() < 4
+
+    def test_lrl_ranks_copy(self, rng):
+        p = RingMoveForgetProcess(8, rng=rng)
+        ranks = p.lrl_ranks()
+        ranks[:] = -1
+        assert p.positions.min() >= 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RingMoveForgetProcess(1, rng=rng)
+        with pytest.raises(ValueError):
+            RingMoveForgetProcess(8, epsilon=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            RingMoveForgetProcess(8, rng=rng).run(-1)
+
+
+class TestLatticeProcess:
+    def test_dimensions(self, rng):
+        p = LatticeMoveForgetProcess(4, 2, rng=rng)
+        assert p.n == 16
+        assert p.positions.shape == (16, 2)
+
+    def test_step_changes_every_coordinate(self, rng):
+        p = LatticeMoveForgetProcess(8, 2, rng=rng)
+        p.step()
+        assert (p.link_lengths() == 2).all()  # ±1 in each of 2 dimensions
+
+    def test_l1_distance_on_torus(self, rng):
+        p = LatticeMoveForgetProcess(4, 1, rng=rng)
+        p.positions[0] = [3]  # owner 0 at position 3: torus distance 1
+        assert p.link_lengths()[0] == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LatticeMoveForgetProcess(1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            LatticeMoveForgetProcess(4, 0, rng=rng)
+        with pytest.raises(ValueError):
+            LatticeMoveForgetProcess(2**12, 2, rng=rng)  # too large
+
+
+class TestAnalysisHelpers:
+    def test_histogram_accumulates(self, rng):
+        p = RingMoveForgetProcess(32, rng=rng)
+        hist = collect_length_histogram(p, warmup=10, samples=5, sample_every=2)
+        assert hist.snapshots == 5
+        assert hist.counts.sum() == 5 * 32
+
+    def test_histogram_pmf_drops_home(self, rng):
+        hist = LengthHistogram(10)
+        hist.add(np.array([0, 0, 1, 2, 2]))
+        pmf = hist.pmf(drop_home=True)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert hist.home_fraction == pytest.approx(2 / 5)
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ValueError):
+            LengthHistogram(10).pmf()
+
+    def test_age_samples_shape(self, rng):
+        p = RingMoveForgetProcess(16, rng=rng)
+        ages = collect_age_samples(p, warmup=5, samples=3)
+        assert ages.size == 3 * 16
+
+    def test_age_survival_empirical(self):
+        ages = np.array([1, 2, 3, 4, 5])
+        out = age_survival_empirical(ages, np.array([1, 3, 6]))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(3 / 5)
+        assert out[2] == pytest.approx(0.0)
+
+    def test_parameter_validation(self, rng):
+        p = RingMoveForgetProcess(16, rng=rng)
+        with pytest.raises(ValueError):
+            collect_length_histogram(p, warmup=-1, samples=5)
+        with pytest.raises(ValueError):
+            collect_age_samples(p, warmup=0, samples=0)

@@ -1,0 +1,78 @@
+"""Tests for the multi-link (q harmonic links) overlay model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.greedy import greedy_route_hops
+from repro.routing.multilink import multilink_neighbors, multilink_route
+
+
+class TestNeighbors:
+    def test_shape(self, rng):
+        table = multilink_neighbors(64, 4, rng)
+        assert table.shape == (64, 6)
+
+    def test_first_two_columns_are_ring(self, rng):
+        n = 16
+        table = multilink_neighbors(n, 1, rng)
+        idx = np.arange(n)
+        assert np.array_equal(table[:, 0], (idx - 1) % n)
+        assert np.array_equal(table[:, 1], (idx + 1) % n)
+
+    def test_q_zero_is_bare_ring(self, rng):
+        assert multilink_neighbors(16, 0, rng).shape == (16, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            multilink_neighbors(1, 2, rng)
+        with pytest.raises(ValueError):
+            multilink_neighbors(8, -1, rng)
+
+
+class TestRouting:
+    def test_all_alive_always_succeeds(self, rng):
+        n = 256
+        table = multilink_neighbors(n, 3, rng)
+        src = rng.integers(0, n, 200)
+        dst = rng.integers(0, n, 200)
+        hops, ok = multilink_route(n, table, src, dst)
+        assert ok.all()
+        assert ((hops == 0) == (src == dst)).all()
+
+    def test_q1_matches_single_link_kernel_quality(self, rng):
+        """q=1 routing quality ≈ the dedicated single-lrl kernel."""
+        n = 2048
+        table = multilink_neighbors(n, 1, rng)
+        src = rng.integers(0, n, 800)
+        dst = rng.integers(0, n, 800)
+        hops_multi, _ = multilink_route(n, table, src, dst)
+        hops_single = greedy_route_hops(n, table[:, 2].copy(), src, dst)
+        assert hops_multi.mean() == pytest.approx(hops_single.mean(), rel=0.1)
+
+    def test_more_links_fewer_hops(self, rng):
+        """The q dial: hops fall monotonically (within noise) as q grows."""
+        n = 4096
+        src = rng.integers(0, n, 600)
+        dst = rng.integers(0, n, 600)
+        means = []
+        for q in (0, 1, 4, 12):
+            table = multilink_neighbors(n, q, rng)
+            hops, _ = multilink_route(n, table, src, dst)
+            means.append(float(hops.mean()))
+        assert means[0] > means[1] > means[2] > means[3]
+        # q = Theta(log n) reaches Chord-grade O(log n) hops.
+        assert means[3] < 2.5 * np.log2(n)
+
+    def test_failures_reduce_success(self, rng):
+        n = 512
+        table = multilink_neighbors(n, 1, rng)
+        alive = np.ones(n, dtype=bool)
+        dead = rng.choice(n, size=n // 5, replace=False)
+        alive[dead] = False
+        live = np.flatnonzero(alive)
+        src = live[rng.integers(0, live.size, 300)]
+        dst = live[rng.integers(0, live.size, 300)]
+        _, ok = multilink_route(n, table, src, dst, alive=alive)
+        assert 0.0 < ok.mean() < 1.0

@@ -1,0 +1,121 @@
+"""Tests for the standalone Onus linearization baseline."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.onus_linearization import OnusNetwork, OnusNode
+from repro.ids import generate_ids
+
+
+def network_from_graph(graph: nx.Graph, ids, shuffle=None) -> OnusNetwork:
+    mapping = {g: ids[i] for i, g in enumerate(graph.nodes)}
+    edges = [(mapping[u], mapping[v]) for u, v in graph.edges]
+    return OnusNetwork.from_edges(mapping.values(), edges)
+
+
+class TestOnusNode:
+    def test_left_right(self):
+        node = OnusNode(0.5, [0.2, 0.4, 0.7, 0.9])
+        assert node.left == 0.4
+        assert node.right == 0.7
+
+    def test_no_neighbors(self):
+        node = OnusNode(0.5)
+        assert node.left is None and node.right is None
+
+    def test_own_id_ignored(self):
+        node = OnusNode(0.5, [0.5])
+        assert node.neighbors == set()
+
+    def test_split_moves_pairs_consecutive(self):
+        node = OnusNode(0.5, [0.1, 0.3, 0.7, 0.9])
+        moves = set(node.split_moves())
+        # 0.1<0.3<0.5<0.7<0.9: delegated pairs avoid self-adjacent ones.
+        assert moves == {(0.1, 0.3), (0.7, 0.9)}
+
+    def test_compact_keeps_closest(self):
+        node = OnusNode(0.5, [0.1, 0.3, 0.7, 0.9])
+        node.compact()
+        assert node.neighbors == {0.3, 0.7}
+
+
+class TestOnusNetwork:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            OnusNetwork([OnusNode(0.1), OnusNode(0.1)])
+
+    @pytest.mark.parametrize(
+        "builder", [nx.path_graph, nx.star_graph, nx.complete_graph]
+    )
+    def test_sorts_standard_graphs(self, builder, rng):
+        n = 24
+        g = builder(n if builder is not nx.star_graph else n - 1)
+        ids = generate_ids(g.number_of_nodes(), rng)
+        net = network_from_graph(g, ids)
+        rounds = net.run_until_sorted(rng, max_rounds=2000)
+        assert net.is_sorted_list()
+        assert rounds <= 2000
+
+    def test_sorts_random_trees(self, rng):
+        for t in range(5):
+            g = nx.random_labeled_tree(20, seed=t)
+            net = network_from_graph(g, generate_ids(20, rng))
+            net.run_until_sorted(rng, max_rounds=3000)
+
+    def test_connectivity_invariant(self, rng):
+        """The union graph stays weakly connected through every round."""
+        g = nx.random_labeled_tree(16, seed=3)
+        ids = generate_ids(16, rng)
+        net = network_from_graph(g, ids)
+        for _ in range(30):
+            union = nx.Graph()
+            union.add_nodes_from(net.nodes)
+            for v, node in net.nodes.items():
+                union.add_edges_from((v, u) for u in node.neighbors)
+            assert nx.is_connected(union)
+            if net.is_sorted_list():
+                break
+            net.step(rng)
+
+    def test_sorted_is_fixed_point(self, rng):
+        ids = sorted(generate_ids(10, rng))
+        edges = list(zip(ids, ids[1:]))
+        net = OnusNetwork.from_edges(ids, edges)
+        assert net.is_sorted_list()
+        moved = net.step(rng)
+        assert moved == 0
+        assert net.is_sorted_list()
+
+    def test_message_accounting(self, rng):
+        g = nx.complete_graph(12)
+        net = network_from_graph(g, generate_ids(12, rng))
+        net.run_until_sorted(rng, max_rounds=500)
+        assert net.messages > 0
+        assert net.rounds > 0
+
+
+class TestComparisonWithPaperProtocol:
+    def test_both_sort_the_same_instance(self, rng):
+        """The baseline and the paper's protocol reach the same order."""
+        from repro.core.protocol import ProtocolConfig, build_network
+        from repro.graphs.predicates import is_sorted_list
+        from repro.sim.engine import Simulator
+        from repro.topology.generators import random_tree_topology
+
+        states = random_tree_topology(20, rng)
+        # Paper protocol:
+        net = build_network([s.copy() for s in states], ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(1))
+        sim.run_until(
+            lambda nw: is_sorted_list(nw.states()), max_rounds=4000, what="paper"
+        )
+        # Onus baseline over the same stored-link graph:
+        onus = OnusNetwork(
+            OnusNode(s.id, (t for t in s.known_ids() if t != s.id))
+            for s in states
+        )
+        onus.run_until_sorted(np.random.default_rng(2), max_rounds=4000)
+        assert onus.is_sorted_list()

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the analysis toolkit.
+
+The scaling fits and distribution tools are what every experiment's
+verdict rests on; these properties pin them down:
+
+* fits recover planted parameters under multiplicative noise;
+* the model comparison picks the generating model once the size range is
+  wide enough;
+* the empirical pmf/KS tools satisfy their axioms on arbitrary inputs;
+* export/CSV round-trips arbitrary row dictionaries.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distribution import empirical_pmf, ks_distance
+from repro.analysis.export import result_to_csv, result_to_json
+from repro.analysis.scaling import compare_scaling, fit_polylog, fit_power
+from repro.analysis.stats import summarize
+from repro.experiments.common import ExperimentResult
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(0.1, 10.0),
+    b=st.floats(0.3, 3.0),
+    noise=st.floats(0.0, 0.05),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fit_power_recovers_planted_parameters(a, b, noise, seed):
+    rng = np.random.default_rng(seed)
+    x = np.array([32, 64, 128, 256, 512, 1024, 4096], dtype=float)
+    y = a * x**b * np.exp(rng.normal(0.0, noise, x.size))
+    fit = fit_power(x, y)
+    assert abs(fit.b - b) < 0.02 + 3 * noise
+    assert fit.r_squared > 0.95
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(0.1, 10.0),
+    b=st.floats(0.5, 3.0),
+    noise=st.floats(0.0, 0.05),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fit_polylog_recovers_planted_parameters(a, b, noise, seed):
+    rng = np.random.default_rng(seed)
+    x = np.array([32, 128, 512, 2048, 16384, 2**20], dtype=float)
+    y = a * np.log(x) ** b * np.exp(rng.normal(0.0, noise, x.size))
+    fit = fit_polylog(x, y)
+    assert abs(fit.b - b) < 0.05 + 5 * noise
+
+
+@settings(max_examples=60, deadline=None)
+@given(b=st.floats(0.4, 1.5), seed=st.integers(0, 2**31 - 1))
+def test_compare_scaling_identifies_power_law(b, seed):
+    rng = np.random.default_rng(seed)
+    x = np.array([64, 256, 1024, 4096, 16384, 2**18], dtype=float)
+    y = 2.0 * x**b * np.exp(rng.normal(0.0, 0.02, x.size))
+    assert compare_scaling(x, y)["winner"] == "power"
+
+
+@settings(max_examples=60, deadline=None)
+@given(b=st.floats(1.0, 3.0), seed=st.integers(0, 2**31 - 1))
+def test_compare_scaling_identifies_polylog(b, seed):
+    rng = np.random.default_rng(seed)
+    x = np.array([64, 256, 1024, 4096, 16384, 2**18, 2**22], dtype=float)
+    y = 2.0 * np.log(x) ** b * np.exp(rng.normal(0.0, 0.02, x.size))
+    assert compare_scaling(x, y)["winner"] == "polylog"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    samples=st.lists(st.integers(1, 30), min_size=1, max_size=200),
+)
+def test_empirical_pmf_axioms(samples):
+    pmf = empirical_pmf(np.array(samples), support=30)
+    assert pmf.shape == (30,)
+    assert abs(pmf.sum() - 1.0) < 1e-9
+    assert (pmf >= 0).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    counts_a=st.lists(st.integers(0, 50), min_size=3, max_size=20),
+    counts_b=st.lists(st.integers(0, 50), min_size=3, max_size=20),
+)
+def test_ks_distance_is_a_metric_on_pmfs(counts_a, counts_b):
+    size = max(len(counts_a), len(counts_b))
+    a = np.array(counts_a + [1] * (size - len(counts_a)), dtype=float) + 1e-9
+    b = np.array(counts_b + [1] * (size - len(counts_b)), dtype=float) + 1e-9
+    a /= a.sum()
+    b /= b.sum()
+    d_ab = ks_distance(a, b)
+    assert 0.0 <= d_ab <= 1.0
+    assert d_ab == ks_distance(b, a)  # symmetry
+    assert ks_distance(a, a) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+def test_summarize_bounds(values):
+    s = summarize(np.array(values))
+    assert s["min"] <= s["median"] <= s["max"]
+    assert s["min"] <= s["mean"] <= s["max"]
+    assert s["std"] >= 0 and s["ci95"] >= 0
+
+
+row_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    st.text(alphabet="abcxyz", max_size=8),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]), row_values, min_size=1
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_export_roundtrips_arbitrary_rows(rows):
+    result = ExperimentResult(
+        experiment="eXX", title="t", claim="c", params={"p": 1}, rows=rows
+    )
+    payload = json.loads(result_to_json(result))
+    assert len(payload["rows"]) == len(rows)
+    text = result_to_csv(result)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == len(rows)

@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for the move-and-forget substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forget import survival
+from repro.moveforget.process import RingMoveForgetProcess
+from repro.moveforget.stationary import sample_stationary_links, stationary_age_table
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 128),
+    steps=st.integers(0, 60),
+    eps=st.floats(0.05, 1.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_process_invariants_hold_after_any_run(n, steps, eps, seed):
+    p = RingMoveForgetProcess(n, epsilon=eps, rng=np.random.default_rng(seed))
+    p.run(steps)
+    # Positions on the ring; ages bounded by elapsed steps; link length
+    # bounded by age (|walk_a| <= a) and by the ring radius.
+    assert p.positions.min() >= 0 and p.positions.max() < n
+    assert p.ages.min() >= 0 and p.ages.max() <= steps
+    lengths = p.link_lengths()
+    assert (lengths <= np.minimum(p.ages, n // 2)).all()
+    assert p.steps == steps
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 128),
+    steps=st.integers(1, 40),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_length_age_parity(n, steps, seed):
+    """Without wrap the walk's displacement parity equals its age parity;
+    on the ring, parity flips only when n is odd (a full lap changes it).
+    We check the even-n case where parity is exactly preserved mod 2."""
+    if n % 2 != 0:
+        n += 1
+    p = RingMoveForgetProcess(n, epsilon=0.3, rng=np.random.default_rng(seed))
+    p.run(steps)
+    off = (p.positions - p.owners) % n
+    # offset and age must share parity on an even ring.
+    assert ((off - p.ages) % 2 == 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cap=st.integers(10, 50_000),
+    eps=st.floats(0.05, 1.5),
+)
+def test_age_table_is_a_distribution(cap, eps):
+    cdf, tail = stationary_age_table(max(cap, 4), eps)
+    assert (np.diff(cdf) >= -1e-12).all()
+    assert 0.0 <= tail <= 1.0
+    np.testing.assert_allclose(cdf[-1] + tail, 1.0, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(8, 256),
+    eps=st.floats(0.1, 1.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_stationary_sampler_outputs_valid(n, eps, seed):
+    ages, positions = sample_stationary_links(
+        n, np.random.default_rng(seed), epsilon=eps
+    )
+    assert ages.shape == positions.shape == (n,)
+    assert positions.min() >= 0 and positions.max() < n
+    assert ages.min() >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(m=st.integers(4, 10_000), eps=st.floats(0.05, 1.5))
+def test_survival_strictly_decreasing_past_three(m, eps):
+    assert survival(m + 1, eps) < survival(m, eps) or m < 3

@@ -1,0 +1,71 @@
+"""Property-based end-to-end test: stabilization from random tiny networks.
+
+Hypothesis generates arbitrary weakly connected initial configurations
+(random tree skeleton + random extra edges + scrambled ids + random lrl /
+ring / age corruption) and asserts the protocol reaches the sorted ring.
+This is Theorem 4.1 hammered over the configuration space, at sizes where
+a failure would be easily minimized and debugged.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.predicates import is_sorted_ring
+from repro.ids import generate_ids
+from repro.sim.engine import Simulator
+from repro.topology.encode import encode_graph
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(2, 16),
+    extra_edges=st.integers(0, 10),
+    corrupt=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_random_configuration_stabilizes(n, extra_edges, corrupt, seed):
+    rng = np.random.default_rng(seed)
+    g = nx.random_labeled_tree(n, seed=int(rng.integers(2**31 - 1)))
+    for _ in range(extra_edges):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v))
+    states = encode_graph(g, generate_ids(n, rng), rng)
+    if corrupt:
+        # Scramble lrl/ring/age, but only on configurations that stay
+        # weakly connected afterwards — a disconnected initial state
+        # violates the paper's one assumption and cannot converge (the
+        # encoder may have used the lrl slot for a structural edge).
+        from repro.topology.encode import states_union_graph
+
+        ids = [s.id for s in states]
+        snapshot = [s.copy() for s in states]
+        for s in states:
+            if rng.random() < 0.5:
+                s.corrupt(
+                    lrl=ids[int(rng.integers(n))],
+                    ring=ids[int(rng.integers(n))],
+                    age=int(rng.integers(0, 100)),
+                )
+        union = states_union_graph(states)
+        if n > 1 and not nx.is_weakly_connected(union):
+            states = snapshot  # corruption severed the graph: roll back
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, rng)
+    sim.run_until(
+        lambda nw: is_sorted_ring(nw.states()),
+        max_rounds=300 * n,
+        what=f"hypothesis config n={n} seed={seed}",
+    )
+    # Closure spot check: stays stable for a few more rounds.
+    sim.run(10)
+    assert is_sorted_ring(net.states())

@@ -1,0 +1,73 @@
+"""Public-API stability: every exported name exists and is importable.
+
+Guards against the classic release bug — an ``__all__`` entry that points
+at a renamed or deleted symbol — across every package in the library.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    module.name
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def test_every_module_imports():
+    for name in ALL_MODULES:
+        importlib.import_module(name)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_dunder_all_entries_exist(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_root_package_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_version_matches_pyproject():
+    import pathlib
+    import re
+
+    text = (pathlib.Path(repro.__file__).parents[2] / "pyproject.toml").read_text()
+    match = re.search(r'^version = "([^"]+)"', text, re.MULTILINE)
+    assert match and match.group(1) == repro.__version__
+
+
+def test_experiment_registry_complete_and_runnable_signatures():
+    """Every registered driver accepts keyword-only params with defaults."""
+    import inspect
+
+    from repro.experiments import EXPERIMENTS
+
+    for spec in EXPERIMENTS.values():
+        signature = inspect.signature(spec.run)
+        for parameter in signature.parameters.values():
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY
+            assert parameter.default is not inspect.Parameter.empty
+
+
+def test_every_public_callable_has_a_docstring():
+    """Deliverable (e): doc comments on every public item."""
+    missing = []
+    for module_name in ALL_MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                missing.append(f"{module_name}.{name}")
+    assert not missing, f"public callables without docstrings: {missing}"

@@ -1,0 +1,83 @@
+"""Unit tests for run recording (repro.sim.recording)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_ring
+from repro.sim.engine import Simulator
+from repro.sim.recording import RunRecorder, load_transcript
+from repro.topology.generators import random_tree_topology
+
+
+def make_sim(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    net = build_network(stable_ring_states(n), ProtocolConfig())
+    return Simulator(net, rng)
+
+
+class TestRunRecorder:
+    def test_snapshot_fields(self):
+        sim = make_sim()
+        rec = RunRecorder(sim)
+        entry = rec.snapshot("hello")
+        assert entry["round"] == 0
+        assert entry["label"] == "hello"
+        assert entry["n"] == 8
+        assert len(entry["states"]) == 8
+
+    def test_run_recorded_counts(self):
+        sim = make_sim()
+        rec = RunRecorder(sim)
+        rec.run_recorded(6, every=2)
+        assert len(rec.snapshots) == 4  # start + 3 samples
+        assert rec.snapshots[-1]["round"] == 6
+
+    def test_states_roundtrip(self):
+        sim = make_sim()
+        rec = RunRecorder(sim)
+        rec.snapshot()
+        restored = rec.states_at(0)
+        original = list(sim.network.states().values())
+        assert {s.id for s in restored} == {s.id for s in original}
+        by_id = {s.id: s for s in restored}
+        for s in original:
+            r = by_id[s.id]
+            assert (r.l, r.r, r.lrl, r.ring, r.age) == (s.l, s.r, s.lrl, s.ring, s.age)
+
+    def test_streaming_jsonl(self):
+        sim = make_sim()
+        buffer = io.StringIO()
+        rec = RunRecorder(sim, stream=buffer)
+        rec.run_recorded(2)
+        entries = load_transcript(buffer.getvalue().splitlines())
+        assert len(entries) == 3
+        assert entries[0]["label"] == "start"
+
+    def test_replay_restored_states_stabilize(self):
+        """A snapshot taken mid-stabilization is a valid initial state."""
+        rng = np.random.default_rng(3)
+        net = build_network(random_tree_topology(16, rng), ProtocolConfig())
+        sim = Simulator(net, rng)
+        rec = RunRecorder(sim)
+        rec.run_recorded(4)
+        mid_states = rec.states_at(2)
+        net2 = build_network(mid_states, ProtocolConfig())
+        sim2 = Simulator(net2, np.random.default_rng(4))
+        sim2.run_until(
+            lambda nw: is_sorted_ring(nw.states()),
+            max_rounds=5000,
+            what="replayed snapshot",
+        )
+
+    def test_validation(self):
+        rec = RunRecorder(make_sim())
+        with pytest.raises(ValueError):
+            rec.run_recorded(-1)
+        with pytest.raises(ValueError):
+            rec.run_recorded(3, every=0)

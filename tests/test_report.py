@@ -1,0 +1,51 @@
+"""Tests for the Markdown report generator and quick-override hygiene."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.cli import _QUICK_OVERRIDES, main
+from repro.experiments import EXPERIMENTS
+from repro.report import generate_report, write_report
+
+
+class TestQuickOverridesHygiene:
+    def test_every_override_targets_a_real_experiment(self):
+        assert set(_QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+    def test_every_override_key_is_a_driver_parameter(self):
+        """Catches drift between quick configs and driver signatures."""
+        for eid, overrides in _QUICK_OVERRIDES.items():
+            signature = inspect.signature(EXPERIMENTS[eid].run)
+            for key in overrides:
+                assert key in signature.parameters, f"{eid}: unknown param {key}"
+
+
+class TestReport:
+    def test_generate_subset(self):
+        text = generate_report(quick=True, only=("e12",))
+        assert "# Reproduction report" in text
+        assert "[e12]" in text
+        assert "[e01]" not in text
+        assert "| p |" in text  # the table rendered
+
+    def test_overrides_applied(self):
+        text = generate_report(
+            quick=True,
+            only=("e12",),
+            overrides={"e12": {"n": 64, "k": 4, "p_points": 3, "trials": 1}},
+        )
+        assert "`n=64`" in text
+
+    def test_write_report(self, tmp_path):
+        out = tmp_path / "r.md"
+        write_report(str(out), quick=True, only=("e12",))
+        assert out.read_text().startswith("# Reproduction report")
+
+    def test_cli_report_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "cli.md"
+        code = main(["report", f"out={out}", "only=e12"])
+        assert code == 0
+        assert "[e12]" in out.read_text()

@@ -1,0 +1,106 @@
+"""Unit tests for channels (repro.sim.channel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import lin, probr
+from repro.sim.channel import Channel
+
+
+class TestMultisetMode:
+    def test_put_and_drain(self, rng):
+        ch = Channel(dedup=False)
+        ch.put(lin(0.1))
+        ch.put(lin(0.2))
+        out = ch.drain(rng)
+        assert sorted(m.id for m in out) == [0.1, 0.2]
+        assert len(ch) == 0
+
+    def test_duplicates_preserved(self, rng):
+        ch = Channel(dedup=False)
+        assert ch.put(lin(0.1))
+        assert ch.put(lin(0.1))  # still reported as added
+        assert len(ch) == 2
+
+    def test_drain_empty(self, rng):
+        assert Channel(dedup=False).drain(rng) == []
+
+
+class TestDedupMode:
+    def test_duplicates_coalesced(self):
+        ch = Channel(dedup=True)
+        assert ch.put(lin(0.1))
+        assert not ch.put(lin(0.1))
+        assert len(ch) == 1
+
+    def test_distinct_payloads_kept(self):
+        ch = Channel()
+        ch.put(lin(0.1))
+        ch.put(lin(0.2))
+        ch.put(probr(0.1))
+        assert len(ch) == 3
+
+    def test_redelivery_after_drain(self, rng):
+        ch = Channel()
+        ch.put(lin(0.1))
+        ch.drain(rng)
+        assert ch.put(lin(0.1))  # allowed again once received
+
+    def test_pop_random_updates_dedup_set(self, rng):
+        ch = Channel()
+        ch.put(lin(0.1))
+        ch.pop_random(rng)
+        assert ch.put(lin(0.1))
+
+
+class TestDrainOrder:
+    def test_drain_is_permuted(self):
+        """Non-FIFO: over many drains, orders must differ."""
+        orders = set()
+        for seed in range(20):
+            ch = Channel(dedup=False)
+            for i in range(5):
+                ch.put(lin(i / 10))
+            out = ch.drain(np.random.default_rng(seed))
+            orders.add(tuple(m.id for m in out))
+        assert len(orders) > 1
+
+    def test_drain_returns_everything(self, rng):
+        ch = Channel(dedup=False)
+        msgs = [lin(i / 100) for i in range(50)]
+        for m in msgs:
+            ch.put(m)
+        out = ch.drain(rng)
+        assert sorted(m.id for m in out) == sorted(m.id for m in msgs)
+
+
+class TestMisc:
+    def test_pop_random_empty_raises(self, rng):
+        with pytest.raises(IndexError):
+            Channel().pop_random(rng)
+
+    def test_peek_does_not_remove(self, rng):
+        ch = Channel()
+        ch.put(lin(0.1))
+        assert len(ch.peek_all()) == 1
+        assert len(ch) == 1
+
+    def test_clear(self):
+        ch = Channel()
+        ch.put(lin(0.1))
+        ch.clear()
+        assert len(ch) == 0
+        assert ch.put(lin(0.1))  # dedup set also cleared
+
+    def test_bool(self):
+        ch = Channel()
+        assert not ch
+        ch.put(lin(0.1))
+        assert ch
+
+    def test_iter(self):
+        ch = Channel()
+        ch.put(lin(0.1))
+        assert [m.id for m in ch] == [0.1]

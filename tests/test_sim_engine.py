@@ -1,0 +1,183 @@
+"""Unit tests for schedulers, the simulator driver, and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import MessageType, lin
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_ring
+from repro.sim.engine import Simulator, StabilizationTimeout
+from repro.sim.metrics import ConvergenceRecorder, MessageStats
+from repro.sim.schedulers import AsyncScheduler, SynchronousScheduler
+
+
+def make_sim(n=6, seed=0, scheduler=None):
+    net = build_network(stable_ring_states(n), ProtocolConfig())
+    return net, Simulator(net, np.random.default_rng(seed), scheduler=scheduler)
+
+
+class TestSynchronousScheduler:
+    def test_round_delivers_previous_round_sends(self):
+        net, sim = make_sim()
+        sim.step_round()
+        # Messages staged in round 0 are pending, not yet received.
+        assert net.pending_total() > 0
+        before = net.stats.total
+        sim.step_round()
+        assert net.stats.total > before
+
+    def test_stable_ring_stays_stable(self):
+        net, sim = make_sim()
+        for _ in range(30):
+            sim.step_round()
+            assert is_sorted_ring(net.states())
+
+    def test_empty_network_is_a_noop(self):
+        net = build_network([], ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(0))
+        sim.step_round()  # must not raise
+        assert net.stats.total == 0
+
+    def test_regular_actions_can_be_disabled(self):
+        net, sim = make_sim(scheduler=SynchronousScheduler(regular_actions=False))
+        sim.run(5)
+        assert net.stats.total == 0  # nothing ever emitted
+
+
+class TestAsyncScheduler:
+    def test_steps_make_progress(self):
+        net, sim = make_sim(scheduler=AsyncScheduler())
+        sim.run(5)
+        assert net.stats.total > 0
+
+    def test_stability_preserved(self):
+        net, sim = make_sim(n=8, scheduler=AsyncScheduler())
+        for _ in range(20):
+            sim.step_round()
+            assert is_sorted_ring(net.states())
+
+    def test_receive_probability_validated(self):
+        with pytest.raises(ValueError):
+            AsyncScheduler(receive_probability=0.0)
+        with pytest.raises(ValueError):
+            AsyncScheduler(receive_probability=1.5)
+
+    def test_explicit_steps_per_round(self):
+        net, sim = make_sim(scheduler=AsyncScheduler(steps_per_round=1))
+        sim.step_round()  # exactly one elementary step: at most a few sends
+        assert net.stats.total <= 5
+
+
+class TestRunUntil:
+    def test_already_true_returns_zero(self):
+        net, sim = make_sim()
+        assert sim.run_until(lambda _: True, max_rounds=10) == 0
+
+    def test_timeout_raises(self):
+        net, sim = make_sim()
+        with pytest.raises(StabilizationTimeout, match="never"):
+            sim.run_until(lambda _: False, max_rounds=3, what="never")
+
+    def test_rounds_counted(self):
+        net, sim = make_sim()
+        target = {"hit": False}
+
+        def predicate(_):
+            return sim.round_index >= 4
+
+        assert sim.run_until(predicate, max_rounds=10) == 4
+
+    def test_check_every_batches(self):
+        net, sim = make_sim()
+        taken = sim.run_until(
+            lambda _: sim.round_index >= 3, max_rounds=10, check_every=5
+        )
+        assert taken == 5  # checked only after a 5-round batch
+
+    def test_invalid_args(self):
+        net, sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.run_until(lambda _: True, max_rounds=-1)
+        with pytest.raises(ValueError):
+            sim.run_until(lambda _: True, max_rounds=5, check_every=0)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+
+class TestRunPhases:
+    def test_records_first_rounds_in_order(self):
+        net, sim = make_sim()
+        rec = sim.run_phases(
+            {
+                "immediate": lambda _: True,
+                "later": lambda _: sim.round_index >= 2,
+            },
+            max_rounds=10,
+        )
+        assert rec.round_of("immediate") == 0
+        assert rec.round_of("later") == 2
+
+    def test_extra_rounds_detect_regressions(self):
+        net, sim = make_sim()
+        flaky_state = {"flips": 0}
+
+        def flaky(_):
+            flaky_state["flips"] += 1
+            return flaky_state["flips"] != 3  # true, true, false, true...
+
+        rec = sim.run_phases({"flaky": flaky}, max_rounds=10, extra_rounds=5)
+        assert rec.regressions  # the dip was observed
+
+    def test_timeout_lists_missing_phase(self):
+        net, sim = make_sim()
+        with pytest.raises(StabilizationTimeout, match="impossible"):
+            sim.run_phases({"impossible": lambda _: False}, max_rounds=3)
+
+
+class TestMessageStats:
+    def test_record_and_totals(self):
+        stats = MessageStats()
+        stats.record_send(MessageType.LIN)
+        stats.record_send(MessageType.LIN)
+        stats.record_send(MessageType.PROBR)
+        assert stats.total == 3
+        assert stats.totals_by_type[MessageType.LIN] == 2
+
+    def test_round_boundaries(self):
+        stats = MessageStats(keep_history=True)
+        stats.record_send(MessageType.LIN)
+        counts = stats.end_round()
+        assert counts[MessageType.LIN] == 1
+        assert stats.current_round_total == 0
+        stats.record_send(MessageType.RING)
+        stats.end_round()
+        assert len(stats.history) == 2
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record_send(MessageType.LIN)
+        stats.reset()
+        assert stats.total == 0
+
+
+class TestConvergenceRecorder:
+    def test_monotone_first_round(self):
+        rec = ConvergenceRecorder()
+        rec.observe("p", True, 3)
+        rec.observe("p", True, 5)
+        assert rec.round_of("p") == 3
+
+    def test_regressions_tracked(self):
+        rec = ConvergenceRecorder()
+        rec.observe("p", True, 3)
+        rec.observe("p", False, 4)
+        assert rec.regressions == [("p", 4)]
+
+    def test_not_converged(self):
+        rec = ConvergenceRecorder()
+        rec.observe("p", False, 0)
+        assert not rec.converged("p")
+        assert rec.round_of("p") is None

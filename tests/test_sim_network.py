@@ -1,0 +1,124 @@
+"""Unit tests for the network layer (repro.sim.network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import MessageType, lin, probr
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.sim.network import Network
+
+
+def make_net(*ids: float, dedup: bool = True) -> Network:
+    cfg = ProtocolConfig()
+    return Network((Node(NodeState(id=i), cfg) for i in ids), dedup=dedup)
+
+
+class TestMembership:
+    def test_add_and_lookup(self):
+        net = make_net(0.1, 0.5)
+        assert len(net) == 2
+        assert 0.1 in net and 0.5 in net and 0.3 not in net
+        assert net.node(0.1).state.id == 0.1
+
+    def test_ids_sorted(self):
+        net = make_net(0.5, 0.1, 0.3)
+        assert net.ids == [0.1, 0.3, 0.5]
+
+    def test_duplicate_rejected(self):
+        net = make_net(0.1)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_node(Node(NodeState(id=0.1), ProtocolConfig()))
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_net(0.1).remove_node(0.9)
+
+    def test_states_view(self):
+        net = make_net(0.1, 0.5)
+        states = net.states()
+        assert set(states) == {0.1, 0.5}
+
+
+class TestMessaging:
+    def test_send_stages_then_flush_delivers(self):
+        net = make_net(0.1, 0.5)
+        net.send(0.5, lin(0.1))
+        assert net.staged_count == 1
+        assert len(net.channel(0.5)) == 0
+        delivered = net.flush()
+        assert delivered == 1
+        assert len(net.channel(0.5)) == 1
+
+    def test_send_counts_by_type(self):
+        net = make_net(0.1, 0.5)
+        net.send(0.5, lin(0.1))
+        net.send(0.5, probr(0.3))
+        assert net.stats.totals_by_type[MessageType.LIN] == 1
+        assert net.stats.totals_by_type[MessageType.PROBR] == 1
+
+    def test_send_to_unknown_dropped(self):
+        net = make_net(0.1)
+        net.send(0.9, lin(0.1))
+        assert net.dropped == 1
+        assert net.staged_count == 0
+
+    def test_flush_coalesces_duplicates(self):
+        net = make_net(0.1, 0.5)
+        net.send(0.5, lin(0.1))
+        net.send(0.5, lin(0.1))
+        assert net.flush() == 1  # one entered the channel
+
+    def test_multiset_mode_keeps_duplicates(self):
+        net = make_net(0.1, 0.5, dedup=False)
+        net.send(0.5, lin(0.1))
+        net.send(0.5, lin(0.1))
+        assert net.flush() == 2
+
+    def test_in_flight_includes_staged_and_channel(self):
+        net = make_net(0.1, 0.5)
+        net.send(0.5, lin(0.1))
+        net.flush()
+        net.send(0.1, lin(0.5))
+        flights = net.in_flight
+        assert (0.5, lin(0.1)) in flights
+        assert (0.1, lin(0.5)) in flights
+        assert net.pending_total() == 2
+
+
+class TestChurnSupport:
+    def test_remove_drops_pending(self):
+        net = make_net(0.1, 0.5)
+        net.send(0.5, lin(0.1))
+        net.flush()
+        net.send(0.5, lin(0.3) if False else lin(0.1))  # staged duplicate
+        net.remove_node(0.5)
+        assert net.pending_total() == 0
+
+    def test_messages_to_departed_dropped(self):
+        net = make_net(0.1, 0.5)
+        net.remove_node(0.5)
+        net.send(0.5, lin(0.1))
+        assert net.dropped >= 1
+
+    def test_purge_identifier_staged_and_channels(self):
+        net = make_net(0.1, 0.5, 0.9)
+        net.send(0.5, lin(0.9))
+        net.flush()
+        net.send(0.1, lin(0.9))  # staged
+        net.send(0.1, lin(0.5))  # unrelated, kept
+        purged = net.purge_identifier(0.9)
+        assert purged == 2
+        remaining = [m for _, m in net.in_flight]
+        assert remaining == [lin(0.5)]
+
+    def test_purge_preserves_dedup_consistency(self, rng):
+        net = make_net(0.1, 0.5, 0.9)
+        net.send(0.5, lin(0.9))
+        net.flush()
+        net.purge_identifier(0.9)
+        # After purging, an identical message must be acceptable again.
+        net.send(0.5, lin(0.9))
+        assert net.flush() == 1

@@ -1,0 +1,58 @@
+"""Opt-in larger-scale stress tests (run with ``pytest --slow``).
+
+The default suite keeps sizes small for speed; these runs exercise the
+same paths at a scale where O(n²) message blow-ups or channel leaks would
+be unmissable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.predicates import is_sorted_ring, phase_predicates
+from repro.sim.engine import Simulator
+from repro.topology.generators import TOPOLOGIES
+
+
+@pytest.fixture(autouse=True)
+def require_slow(slow):
+    if not slow:
+        pytest.skip("slow test: enable with --slow")
+
+
+def test_stabilization_at_n256_random_tree():
+    rng = np.random.default_rng(256)
+    net = build_network(TOPOLOGIES["random_tree"](256, rng), ProtocolConfig())
+    sim = Simulator(net, rng)
+    rec = sim.run_phases(phase_predicates(include_phase4=False), max_rounds=20_000)
+    assert max(rec.first_round.values()) < 2_000
+    # Channels stay bounded in the stable state.
+    sim.run(50)
+    assert net.pending_total() < 60 * 256
+
+
+def test_stabilization_at_n256_star():
+    rng = np.random.default_rng(257)
+    net = build_network(TOPOLOGIES["star"](256, rng), ProtocolConfig())
+    sim = Simulator(net, rng)
+    sim.run_until(
+        lambda nw: is_sorted_ring(nw.states()), max_rounds=30_000, what="star 256"
+    )
+
+
+def test_sustained_churn_at_n256():
+    from repro.churn.sequences import ChurnWorkload
+    from repro.graphs.build import stable_ring_states
+    from repro.ids import generate_ids
+
+    rng = np.random.default_rng(258)
+    states = stable_ring_states(256, lrl="harmonic", rng=rng, ids=generate_ids(256, rng))
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, rng)
+    sim.run(20)
+    workload = ChurnWorkload(sim, rng, join_probability=0.2, leave_probability=0.2)
+    report = workload.run(300)
+    assert report.mean_pair_fraction > 0.9
+    assert report.routing_success_rate > 0.7

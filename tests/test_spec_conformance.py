@@ -1,0 +1,292 @@
+"""Table-driven pseudocode-conformance tests: every branch of Algorithms 2–10.
+
+Each table row is one branch of the paper's pseudocode: the node state,
+the stimulus, and the exact expected effect (state change + sends).  These
+are the specification tests — when in doubt about a handler's behavior,
+the row *is* the paper's line, with the DESIGN.md §4 tag where a decision
+was ours.
+
+State shorthand in the tables: ids on a 0.0–0.9 grid; ``None`` ring;
+``L``/``R`` = ±∞ sentinels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import MessageType, lin, probl, probr, reslrl, resring
+from repro.core.node import Node
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.ids import NEG_INF as L
+from repro.ids import POS_INF as R
+
+
+class Collector:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, dest, message):
+        self.sent.append((dest, message))
+
+
+def node(id, l=L, r=R, lrl=None, ring=None, age=0):
+    state = NodeState(id=id)
+    state.corrupt(
+        l=l if l != L else None,
+        r=r if r != R else None,
+        lrl=lrl if lrl is not None else id,
+        ring=ring,
+        age=age,
+    )
+    if l == L:
+        state.l = L
+    if r == R:
+        state.r = R
+    return Node(state, ProtocolConfig())
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2 — linearize(id).  Rows: (state, incoming, expect_l, expect_r,
+# expected sends as (dest, payload) lin pairs).
+# ---------------------------------------------------------------------------
+LINEARIZE_ROWS = [
+    # adopt right, displace old
+    (dict(id=0.5, r=0.9), 0.7, L, 0.7, [(0.7, 0.9)]),
+    # adopt right, nothing displaced
+    (dict(id=0.5), 0.7, L, 0.7, []),
+    # forward right via neighbor
+    (dict(id=0.5, r=0.6), 0.8, L, 0.6, [(0.6, 0.8)]),
+    # forward right via shortcut: id > lrl > r
+    (dict(id=0.5, r=0.6, lrl=0.7), 0.8, L, 0.6, [(0.7, 0.8)]),
+    # shortcut not taken when lrl beyond the id
+    (dict(id=0.5, r=0.6, lrl=0.9), 0.8, L, 0.6, [(0.6, 0.8)]),
+    # shortcut not taken when lrl left of r
+    (dict(id=0.5, r=0.6, lrl=0.2), 0.8, L, 0.6, [(0.6, 0.8)]),
+    # adopt left, displace old
+    (dict(id=0.5, l=0.1), 0.3, 0.3, R, [(0.3, 0.1)]),
+    # forward left via neighbor
+    (dict(id=0.5, l=0.4), 0.2, 0.4, R, [(0.4, 0.2)]),
+    # forward left via shortcut: id < lrl < l
+    (dict(id=0.5, l=0.4, lrl=0.3), 0.2, 0.4, R, [(0.3, 0.2)]),
+    # own id: no-op
+    (dict(id=0.5, l=0.4, r=0.6), 0.5, 0.4, 0.6, []),
+    # existing right neighbor echo suppressed (§4.5)
+    (dict(id=0.5, r=0.6), 0.6, L, 0.6, []),
+    # existing left neighbor echo suppressed (§4.5)
+    (dict(id=0.5, l=0.4), 0.4, 0.4, R, []),
+]
+
+
+@pytest.mark.parametrize("state_kw,incoming,exp_l,exp_r,exp_sends", LINEARIZE_ROWS)
+def test_linearize_branch(state_kw, incoming, exp_l, exp_r, exp_sends):
+    n = node(**state_kw)
+    out = Collector()
+    n.linearize(incoming, out)
+    assert n.state.l == exp_l
+    assert n.state.r == exp_r
+    assert [(d, m.id) for d, m in out.sent] == exp_sends
+    assert all(m.type is MessageType.LIN for _, m in out.sent)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 5 — probingr(dest).  Rows: (state, dest, expected sends
+# [(dest, payload, type)], expected new r or None).
+# ---------------------------------------------------------------------------
+PROBR_ROWS = [
+    # forward via lrl: dest >= lrl > r
+    (dict(id=0.3, r=0.4, lrl=0.6), 0.8, [(0.6, 0.8, MessageType.PROBR)], None),
+    # forward via lrl boundary: dest == lrl
+    (dict(id=0.3, r=0.4, lrl=0.8), 0.8, [(0.8, 0.8, MessageType.PROBR)], None),
+    # forward via r
+    (dict(id=0.3, r=0.4, lrl=0.3), 0.8, [(0.4, 0.8, MessageType.PROBR)], None),
+    # forward via r boundary: dest == r
+    (dict(id=0.3, r=0.8, lrl=0.3), 0.8, [(0.8, 0.8, MessageType.PROBR)], None),
+    # repair: dest in (p, p.r) — linearize adopts, old r displaced via lin
+    (dict(id=0.3, r=0.8, lrl=0.3), 0.5, [(0.5, 0.8, MessageType.LIN)], 0.5),
+    # repair with no right neighbor at all
+    (dict(id=0.3, lrl=0.3), 0.5, [], 0.5),
+    # stale probe (dest <= p) dropped
+    (dict(id=0.3, r=0.4, lrl=0.3), 0.2, [], None),
+    (dict(id=0.3, r=0.4, lrl=0.3), 0.3, [], None),
+]
+
+
+@pytest.mark.parametrize("state_kw,dest,exp_sends,exp_new_r", PROBR_ROWS)
+def test_probing_r_branch(state_kw, dest, exp_sends, exp_new_r):
+    n = node(**state_kw)
+    out = Collector()
+    n.probing_r(dest, out)
+    assert [(d, m.id, m.type) for d, m in out.sent] == exp_sends
+    if exp_new_r is not None:
+        assert n.state.r == exp_new_r
+
+
+# Algorithm 6 mirror rows.
+PROBL_ROWS = [
+    (dict(id=0.7, l=0.6, lrl=0.4), 0.2, [(0.4, 0.2, MessageType.PROBL)], None),
+    (dict(id=0.7, l=0.6, lrl=0.7), 0.2, [(0.6, 0.2, MessageType.PROBL)], None),
+    (dict(id=0.7, l=0.2, lrl=0.7), 0.5, [(0.5, 0.2, MessageType.LIN)], 0.5),
+    (dict(id=0.7, l=0.6, lrl=0.7), 0.8, [], None),
+]
+
+
+@pytest.mark.parametrize("state_kw,dest,exp_sends,exp_new_l", PROBL_ROWS)
+def test_probing_l_branch(state_kw, dest, exp_sends, exp_new_l):
+    n = node(**state_kw)
+    out = Collector()
+    n.probing_l(dest, out)
+    assert [(d, m.id, m.type) for d, m in out.sent] == exp_sends
+    if exp_new_l is not None:
+        assert n.state.l == exp_new_l
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 7 — respondring(origin).  Rows: (state, origin, expected single
+# send (payload, type)).
+# ---------------------------------------------------------------------------
+RESPONDRING_ROWS = [
+    # origin < p
+    (dict(id=0.5, l=0.2, r=0.8, lrl=0.5), 0.3, (0.2, MessageType.LIN)),      # p.l < origin
+    (dict(id=0.5, r=0.8, lrl=0.5), 0.3, (0.5, MessageType.LIN)),             # p.l = −∞ → p.id (§4.2)
+    (dict(id=0.5, l=0.4, r=0.8, lrl=0.2), 0.3, (0.2, MessageType.LIN)),      # lrl < origin
+    (dict(id=0.5, l=0.4, r=0.6, lrl=0.9), 0.3, (0.9, MessageType.RESRING)),  # lrl > r
+    (dict(id=0.5, l=0.4, r=0.6, lrl=0.5), 0.3, (0.6, MessageType.RESRING)),  # else → p.r
+    (dict(id=0.9, l=0.8, lrl=0.9), 0.3, (0.9, MessageType.RESRING)),         # p.r = +∞ → p.id (§4.2)
+    # origin > p
+    (dict(id=0.5, l=0.2, r=0.8, lrl=0.5), 0.6, (0.2, MessageType.LIN)),      # p.r > origin → p.l
+    (dict(id=0.5, r=0.8, lrl=0.5), 0.6, (0.5, MessageType.LIN)),             # …but p.l = −∞ → p.id
+    (dict(id=0.5, l=0.2, r=0.55, lrl=0.9), 0.6, (0.9, MessageType.LIN)),     # lrl > origin
+    (dict(id=0.5, l=0.4, r=0.55, lrl=0.1), 0.6, (0.1, MessageType.RESRING)), # lrl < l
+    (dict(id=0.5, l=0.4, r=0.55, lrl=0.5), 0.6, (0.4, MessageType.RESRING)), # else → p.l
+    (dict(id=0.1, r=0.2, lrl=0.1), 0.6, (0.1, MessageType.RESRING)),         # p.l = −∞ → p.id
+]
+
+
+@pytest.mark.parametrize("state_kw,origin,expected", RESPONDRING_ROWS)
+def test_respond_ring_branch(state_kw, origin, expected):
+    n = node(**state_kw)
+    out = Collector()
+    n.respond_ring(origin, out)
+    [(dest, message)] = out.sent
+    assert dest == origin
+    assert (message.id, message.type) == expected
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 — respondlrl(origin).  Rows: (state, expected payload or None).
+# ---------------------------------------------------------------------------
+RESPONDLRL_ROWS = [
+    (dict(id=0.5, l=0.4, r=0.6), (0.5, 0.4, 0.6)),
+    (dict(id=0.9, l=0.8, ring=0.1), (0.9, 0.8, 0.1)),     # max wraps right
+    (dict(id=0.1, r=0.2, ring=0.9), (0.1, 0.9, 0.2)),     # min wraps left (§4.1)
+    (dict(id=0.9, l=0.8), (0.9, 0.8, R)),                 # max without ring
+    (dict(id=0.1, r=0.2), (0.1, L, 0.2)),                 # min without ring
+    (dict(id=0.5), None),                                 # isolated: silent
+]
+
+
+@pytest.mark.parametrize("state_kw,expected", RESPONDLRL_ROWS)
+def test_respond_lrl_branch(state_kw, expected):
+    n = node(**state_kw)
+    out = Collector()
+    n.respond_lrl(0.35, out)
+    if expected is None:
+        assert out.sent == []
+    else:
+        [(dest, message)] = out.sent
+        assert dest == 0.35
+        assert message.ids == expected
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 9 — sendid().  Rows: (state, expected (dest, type) multiset).
+# ---------------------------------------------------------------------------
+SENDID_ROWS = [
+    # interior node: lin to both neighbors + inclrl to lrl
+    (
+        dict(id=0.5, l=0.4, r=0.6, lrl=0.9),
+        {(0.4, MessageType.LIN), (0.6, MessageType.LIN), (0.9, MessageType.INCLRL)},
+    ),
+    # min: ring message instead of left lin
+    (
+        dict(id=0.1, r=0.2, ring=0.9, lrl=0.1),
+        {(0.9, MessageType.RING), (0.2, MessageType.LIN), (0.1, MessageType.INCLRL)},
+    ),
+    # max: ring message instead of right lin
+    (
+        dict(id=0.9, l=0.8, ring=0.1, lrl=0.9),
+        {(0.1, MessageType.RING), (0.8, MessageType.LIN), (0.9, MessageType.INCLRL)},
+    ),
+]
+
+
+@pytest.mark.parametrize("state_kw,expected", SENDID_ROWS)
+def test_sendid_branch(state_kw, expected):
+    n = node(**state_kw)
+    out = Collector()
+    n.send_id(out)
+    assert {(d, m.type) for d, m in out.sent} == expected
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 4 — move-forget candidate handling, deterministic branches.
+# ---------------------------------------------------------------------------
+def test_move_forget_both_candidates_moves_to_one():
+    n = node(id=0.5, lrl=0.7, age=0)
+    n.move_forget(0.7, 0.65, 0.75, np.random.default_rng(0), Collector())
+    assert n.state.lrl in (0.65, 0.75)
+    assert n.state.age == 1
+
+
+def test_move_forget_left_only():
+    n = node(id=0.5, lrl=0.7, age=0)
+    n.move_forget(0.7, 0.65, R, np.random.default_rng(0), Collector())
+    assert n.state.lrl == 0.65
+
+
+def test_move_forget_right_only():
+    n = node(id=0.5, lrl=0.7, age=0)
+    n.move_forget(0.7, L, 0.75, np.random.default_rng(0), Collector())
+    assert n.state.lrl == 0.75
+
+
+def test_move_forget_stale_responder_ignored():
+    n = node(id=0.5, lrl=0.7, age=5)
+    n.move_forget(0.2, 0.15, 0.25, np.random.default_rng(0), Collector())
+    assert n.state.lrl == 0.7 and n.state.age == 5
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 8 — updatering, all four branches.
+# ---------------------------------------------------------------------------
+def test_update_ring_grows_for_missing_left():
+    n = node(id=0.1, r=0.2, ring=0.5)
+    n.update_ring(0.7, Collector())
+    assert n.state.ring == 0.7
+    n.update_ring(0.6, Collector())
+    assert n.state.ring == 0.7
+
+
+def test_update_ring_shrinks_for_missing_right():
+    n = node(id=0.9, l=0.8, ring=0.5)
+    n.update_ring(0.3, Collector())
+    assert n.state.ring == 0.3
+    n.update_ring(0.4, Collector())
+    assert n.state.ring == 0.3
+
+
+def test_update_ring_interior_ignores():
+    n = node(id=0.5, l=0.4, r=0.6, ring=0.9)
+    n.update_ring(0.95, Collector())
+    assert n.state.ring == 0.9
+
+
+def test_update_ring_replacement_reinjects_old(monkeypatch):
+    n = node(id=0.1, r=0.2, ring=0.5)
+    out = Collector()
+    n.update_ring(0.7, out)
+    # The replaced candidate 0.5 re-entered linearization: since
+    # 0.1 < 0.5 and 0.2 < 0.5, it is forwarded rightwards via r=0.2.
+    assert (0.2, lin(0.5)) in out.sent

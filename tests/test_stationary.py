@@ -1,0 +1,120 @@
+"""Tests for the exact stationary sampler (repro.moveforget.stationary).
+
+The decisive check: the sampler and the *actual process* must agree on the
+distribution of young-age links — the regime the process can actually
+reach in feasible time — and the sampler's age law must match the
+renewal-theory prediction computed from the closed-form survival.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.forget import survival
+from repro.moveforget.process import RingMoveForgetProcess
+from repro.moveforget.stationary import (
+    sample_stationary_ages,
+    sample_stationary_links,
+    stationary_age_table,
+)
+
+
+class TestAgeTable:
+    def test_cdf_monotone_and_bounded(self):
+        cdf, tail = stationary_age_table(10_000, 0.1)
+        assert (np.diff(cdf) >= 0).all()
+        assert 0.0 < cdf[0] < 1.0
+        assert 0.0 < tail < 1.0
+        assert cdf[-1] + tail == pytest.approx(1.0, abs=1e-9)
+
+    def test_tail_is_heavy(self):
+        """Most stationary mass sits beyond any practical cap (THEORY §2)."""
+        _, tail = stationary_age_table(1_000_000, 0.1)
+        assert tail > 0.5
+
+    def test_larger_epsilon_lightens_tail(self):
+        _, tail_small = stationary_age_table(100_000, 0.1)
+        _, tail_large = stationary_age_table(100_000, 1.0)
+        assert tail_large < tail_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stationary_age_table(2)
+
+
+class TestAgeSampling:
+    def test_ages_respect_cap(self, rng):
+        ages = sample_stationary_ages(64, 5000, rng, age_cap=1000)
+        assert ages.max() <= 1000
+        assert ages.min() >= 0
+
+    def test_age_law_matches_renewal_prediction(self, rng):
+        """Pr[A = a] ∝ Pr[L > a] on the uncapped region."""
+        cap = 5000
+        ages = sample_stationary_ages(64, 300_000, rng, epsilon=0.3, age_cap=cap)
+        kept = ages[ages < cap]
+        # Compare Pr[A <= 10 | A < cap] against the table.
+        cdf, tail = stationary_age_table(cap, 0.3)
+        expected = cdf[10] / cdf[-1]
+        measured = float((kept <= 10).mean())
+        assert measured == pytest.approx(expected, abs=0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_stationary_ages(1, 10, rng)
+
+
+class TestLinkSampling:
+    def test_shapes_and_ranges(self, rng):
+        ages, positions = sample_stationary_links(128, rng)
+        assert ages.shape == positions.shape == (128,)
+        assert positions.min() >= 0 and positions.max() < 128
+
+    def test_young_tokens_near_home(self, rng):
+        n = 1024
+        ages, positions = sample_stationary_links(n, rng, age_cap=n * n)
+        owners = np.arange(n)
+        off = (positions - owners) % n
+        dist = np.minimum(off, n - off)
+        young = ages <= 9
+        if young.any():
+            assert (dist[young] <= 9).all()  # |walk_a| <= a
+
+    def test_agrees_with_process_on_young_links(self):
+        """Sampler vs 2000-step process: the conditional length law of
+        young links (age <= 30) must match closely."""
+        n = 256
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(2)
+        process = RingMoveForgetProcess(n, epsilon=0.2, rng=rng1)
+        process.run(2000)
+        proc_ages, proc_len = [], []
+        for _ in range(60):
+            process.run(10)
+            proc_ages.append(process.ages.copy())
+            proc_len.append(process.link_lengths())
+        proc_ages = np.concatenate(proc_ages)
+        proc_len = np.concatenate(proc_len)
+
+        samp_len_all = []
+        samp_age_all = []
+        for _ in range(60):
+            a, p = sample_stationary_links(n, rng2, epsilon=0.2)
+            owners = np.arange(n)
+            off = (p - owners) % n
+            samp_len_all.append(np.minimum(off, n - off))
+            samp_age_all.append(a)
+        samp_len = np.concatenate(samp_len_all)
+        samp_age = np.concatenate(samp_age_all)
+
+        mask_p = proc_ages <= 30
+        mask_s = samp_age <= 30
+        mean_p = proc_len[mask_p].mean()
+        mean_s = samp_len[mask_s].mean()
+        assert mean_s == pytest.approx(mean_p, rel=0.15)
+
+    def test_deterministic_under_seed(self):
+        a1, p1 = sample_stationary_links(64, np.random.default_rng(7))
+        a2, p2 = sample_stationary_links(64, np.random.default_rng(7))
+        assert np.array_equal(a1, a2) and np.array_equal(p1, p2)

@@ -1,0 +1,142 @@
+"""Unit tests for initial-configuration generators and (de)serialization."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.state import NodeState
+from repro.ids import NEG_INF, generate_ids
+from repro.topology.encode import (
+    assert_weakly_connected,
+    encode_graph,
+    states_union_graph,
+)
+from repro.topology.generators import TOPOLOGIES, corrupted_ring_topology, gnp_topology
+from repro.topology.serialization import states_from_json, states_to_json
+
+
+class TestEncodeGraph:
+    def test_path_graph_connected(self, rng):
+        states = encode_graph(nx.path_graph(10), generate_ids(10, rng), rng)
+        assert_weakly_connected(states)
+
+    def test_star_connected_despite_slot_overflow(self, rng):
+        states = encode_graph(nx.star_graph(30), generate_ids(31, rng), rng)
+        assert_weakly_connected(states)
+
+    def test_clique_connected(self, rng):
+        states = encode_graph(nx.complete_graph(12), generate_ids(12, rng), rng)
+        assert_weakly_connected(states)
+
+    def test_rejects_disconnected(self, rng):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError, match="connected"):
+            encode_graph(g, generate_ids(4, rng), rng)
+
+    def test_rejects_wrong_node_labels(self, rng):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="0..n-1"):
+            encode_graph(g, generate_ids(2, rng), rng)
+
+    def test_rejects_size_mismatch(self, rng):
+        with pytest.raises(ValueError, match="ids"):
+            encode_graph(nx.path_graph(3), generate_ids(5, rng), rng)
+
+    def test_sorted_assignment(self, rng):
+        states = encode_graph(
+            nx.path_graph(5), generate_ids(5, rng), rng, shuffle_ids=False
+        )
+        assert [s.id for s in states] == sorted(s.id for s in states)
+
+    def test_states_respect_model_invariants(self, rng):
+        for _ in range(10):
+            states = encode_graph(nx.complete_graph(8), generate_ids(8, rng), rng)
+            for s in states:
+                assert s.l == NEG_INF or s.l < s.id
+                assert s.r == float("inf") or s.r > s.id
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_generator_produces_weakly_connected_states(self, name, rng):
+        states = TOPOLOGIES[name](24, rng)
+        assert len(states) == 24
+        assert_weakly_connected(states)
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_ids_unique_and_in_range(self, name, rng):
+        states = TOPOLOGIES[name](16, rng)
+        ids = [s.id for s in states]
+        assert len(set(ids)) == 16
+        assert all(0.0 <= i < 1.0 for i in ids)
+
+    def test_gnp_explicit_p(self, rng):
+        states = gnp_topology(20, rng, p=0.5)
+        assert_weakly_connected(states)
+
+    def test_corrupted_ring_full_corruption(self, rng):
+        states = corrupted_ring_topology(20, rng, corrupt_fraction=1.0)
+        assert_weakly_connected(states)
+
+    def test_corrupted_ring_zero_corruption_is_stable(self, rng):
+        from repro.graphs.predicates import is_sorted_ring
+
+        states = corrupted_ring_topology(10, rng, corrupt_fraction=0.0)
+        assert is_sorted_ring({s.id: s for s in states})
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            TOPOLOGIES["line"](1, rng)
+
+    def test_union_graph_excludes_self_loops(self, rng):
+        states = TOPOLOGIES["random_tree"](12, rng)
+        g = states_union_graph(states)
+        assert all(u != v for u, v in g.edges)
+
+
+class TestSerialization:
+    def test_roundtrip_stable_ring(self):
+        from repro.graphs.build import stable_ring_states
+
+        states = stable_ring_states(6)
+        restored = states_from_json(states_to_json(states))
+        for a, b in zip(states, restored):
+            assert (a.id, a.l, a.r, a.lrl, a.ring, a.age) == (
+                b.id,
+                b.l,
+                b.r,
+                b.lrl,
+                b.ring,
+                b.age,
+            )
+
+    def test_roundtrip_adversarial(self, rng):
+        states = TOPOLOGIES["corrupted_ring"](12, rng)
+        restored = states_from_json(states_to_json(states))
+        for a, b in zip(states, restored):
+            assert (a.id, a.l, a.r, a.lrl, a.ring, a.age) == (
+                b.id,
+                b.l,
+                b.r,
+                b.lrl,
+                b.ring,
+                b.age,
+            )
+
+    def test_sentinels_encoded_as_strings(self):
+        state = NodeState(id=0.5)
+        text = states_to_json([state])
+        assert '"-inf"' in text and '"+inf"' in text
+
+    def test_bad_sentinel_string_rejected(self):
+        with pytest.raises(ValueError, match="sentinel"):
+            states_from_json(
+                '[{"id": 0.5, "l": "oops", "r": "+inf", "lrl": 0.5, '
+                '"ring": null, "age": 0}]'
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for repro.viz and repro.analysis.convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_metrics, track_convergence
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.graphs.predicates import is_sorted_list
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ConvergenceRecorder
+from repro.topology.generators import random_tree_topology
+from repro.viz import render_links, render_phase_timeline, render_sortedness
+
+
+class TestConvergenceMetrics:
+    def test_stable_ring_is_at_minimum(self):
+        net = build_network(stable_ring_states(12), ProtocolConfig())
+        metrics = convergence_metrics(net)
+        assert metrics["lcp_total_length"] == 0.0
+        assert metrics["sorted_pair_fraction"] == 1.0
+        assert metrics["lcc_extra_edges"] == 0.0
+
+    def test_detects_long_links(self):
+        states = stable_ring_states(10)
+        ordered = [s.id for s in states]
+        states[0].r = ordered[5]  # length-4 link (skips ranks 1..4)
+        net = build_network(states, ProtocolConfig())
+        metrics = convergence_metrics(net)
+        assert metrics["lcp_total_length"] == 4.0
+        assert metrics["sorted_pair_fraction"] < 1.0
+
+    def test_counts_inflight_lin(self):
+        from repro.core.messages import lin
+
+        states = stable_ring_states(6)
+        net = build_network(states, ProtocolConfig())
+        net.send(states[0].id, lin(states[3].id))
+        assert convergence_metrics(net)["lcc_extra_edges"] == 1.0
+
+    def test_track_convergence_decreases_potential(self):
+        rng = np.random.default_rng(5)
+        net = build_network(random_tree_topology(24, rng), ProtocolConfig())
+        sim = Simulator(net, rng)
+        samples = track_convergence(
+            sim,
+            rounds=5000,
+            every=2,
+            stop_when=lambda nw: is_sorted_list(nw.states()),
+        )
+        assert samples[0]["sorted_pair_fraction"] < 1.0
+        assert samples[-1]["sorted_pair_fraction"] == 1.0
+        assert samples[-1]["lcp_total_length"] == 0.0
+
+    def test_track_validation(self):
+        net = build_network(stable_ring_states(4), ProtocolConfig())
+        sim = Simulator(net, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            track_convergence(sim, rounds=-1)
+        with pytest.raises(ValueError):
+            track_convergence(sim, rounds=5, every=0)
+
+
+class TestViz:
+    def test_sortedness_stable_ring(self):
+        text = render_sortedness(stable_ring_states(10))
+        assert text == "=" * 9
+
+    def test_sortedness_marks_broken_pairs(self):
+        states = stable_ring_states(6)
+        ordered = [s.id for s in states]
+        states[2].r = ordered[4]  # break pair (2,3) forward link
+        text = render_sortedness(states)
+        assert "<" in text or "." in text
+
+    def test_sortedness_single_node(self):
+        from repro.core.state import NodeState
+
+        assert "single" in render_sortedness([NodeState(id=0.5)])
+
+    def test_sortedness_wraps_lines(self):
+        text = render_sortedness(stable_ring_states(100), width=20)
+        assert all(len(line) <= 20 for line in text.splitlines())
+
+    def test_render_links_shows_ranks(self):
+        text = render_links(stable_ring_states(5))
+        assert "l= -inf" in text or "l=-inf" in text.replace(" ", "")
+        assert "ring=" in text
+
+    def test_render_links_truncates(self):
+        text = render_links(stable_ring_states(40), max_nodes=8)
+        assert "more nodes" in text
+
+    def test_phase_timeline(self):
+        rec = ConvergenceRecorder()
+        rec.observe("a", True, 0)
+        rec.observe("b", True, 10)
+        text = render_phase_timeline(rec)
+        assert "a @ 0" in text and "b @ 10" in text
+
+    def test_phase_timeline_empty(self):
+        assert "no phases" in render_phase_timeline(ConvergenceRecorder())
+
+    def test_phase_timeline_shows_regressions(self):
+        rec = ConvergenceRecorder()
+        rec.observe("a", True, 0)
+        rec.observe("a", False, 2)
+        assert "regressions" in render_phase_timeline(rec)

@@ -1,0 +1,73 @@
+"""White-box consistency: the vectorized probe replay equals the live protocol.
+
+The experiments (E3) measure probing cost with the vectorized replay
+kernel; this test pins the kernel to the real message flow.  With the
+long-range links frozen (``move_and_forget=False``) the ring probe emitted
+by the minimal node each round advances one hop per round through exactly
+the nodes the replay rule predicts — we trace the live senders and compare
+them against a test-local reimplementation of Algorithm 5's forwarding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.messages import MessageType
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.graphs.build import stable_ring_states
+from repro.routing.greedy import lrl_ranks_from_states
+from repro.routing.paths import probe_path_hops
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+
+
+def replay_path_ranks(n: int, lrl: np.ndarray, src: int, dst: int) -> list[int]:
+    """Test-local Algorithm 5 walk (rightward), returning visited ranks."""
+    assert dst > src
+    path = [src, src + 1]  # Algorithm 10 emits to p.r
+    cur = src + 1
+    while cur != dst:
+        shortcut = int(lrl[cur])
+        if dst >= shortcut > cur + 1:
+            cur = shortcut
+        else:
+            cur += 1
+        path.append(cur)
+    return path
+
+
+def test_live_ring_probe_follows_replay_path():
+    n = 48
+    rng = np.random.default_rng(1234)
+    states = stable_ring_states(n, lrl="harmonic", rng=rng)
+    trace = Trace()
+    cfg = ProtocolConfig(move_and_forget=False, trace=trace)
+    # move_and_forget=False freezes lrl but also silences lrl probes; the
+    # *ring* probe of the minimal node still runs every round and uses the
+    # frozen lrl shortcuts while forwarding.
+    net = build_network(states, cfg)
+    sim = Simulator(net, rng)
+
+    lrl, ordered = lrl_ranks_from_states(net.states())
+    expected_ranks = replay_path_ranks(n, lrl, 0, n - 1)
+    expected_senders = {ordered[r] for r in expected_ranks[:-1]}
+
+    sim.run(len(expected_ranks) + 5)
+
+    min_id, max_id = ordered[0], ordered[-1]
+    live_senders = {
+        e.node
+        for e in trace.sends(mtype=MessageType.PROBR)
+        if e.message is not None and e.message.id == max_id
+    }
+    assert live_senders == expected_senders
+
+
+def test_replay_hops_match_path_length():
+    n = 48
+    rng = np.random.default_rng(99)
+    states = stable_ring_states(n, lrl="harmonic", rng=rng)
+    lrl, _ = lrl_ranks_from_states(states)
+    path = replay_path_ranks(n, lrl, 0, n - 1)
+    hops = probe_path_hops(n, lrl, np.array([0]), np.array([n - 1]))
+    assert hops[0] == len(path) - 1
