@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.core.messages import MessageType
-from repro.ids import is_real, rank_of, sort_unique
+from repro.ids import is_real, sort_unique
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 

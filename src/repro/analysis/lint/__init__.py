@@ -1,0 +1,44 @@
+"""Protocol-aware static analysis (``repro-lint``).
+
+An AST-based lint pass that mechanically enforces the disciplines the
+paper's correctness argument assumes (see docs/ANALYSIS.md):
+
+* **compare-store-send** (Nor/Nesterenko/Scheideler, Corona) — handlers
+  only store/send identifiers they hold or received, never literals;
+* **message-dispatch completeness** — all seven message types of paper
+  §III are dispatched, and handlers never mutate foreign state/channels;
+* **RNG determinism** — randomness flows through threaded
+  ``np.random.Generator`` parameters, never global RNG state;
+* **self-stabilization hygiene** — no swallowed exceptions or mutable
+  default arguments.
+
+The subpackage is stdlib-only so it can run before the scientific stack
+is installed (e.g. as the first CI step).
+
+Public API::
+
+    from repro.analysis.lint import lint_paths, lint_source, ALL_RULES
+    findings = lint_paths(["src"])       # -> list[Finding]
+"""
+
+from repro.analysis.lint.engine import (
+    exit_code,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.findings import Finding, Severity, findings_to_json
+from repro.analysis.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RULES_BY_ID",
+    "Rule",
+    "Severity",
+    "exit_code",
+    "findings_to_json",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

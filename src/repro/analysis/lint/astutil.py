@@ -1,0 +1,137 @@
+"""Small AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "root_name",
+    "attribute_chain",
+    "is_inf_cast",
+    "iter_value_literals",
+    "module_level_statements",
+    "defined_functions",
+]
+
+
+def root_name(node: ast.expr) -> str | None:
+    """Return the root ``Name`` id of an attribute/subscript chain.
+
+    ``other.state.r`` → ``"other"``; ``self.state.l`` → ``"self"``;
+    anything rooted in a call or literal → ``None``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def attribute_chain(node: ast.expr) -> list[str]:
+    """Return the dotted names of an attribute chain, outermost last.
+
+    ``np.random.default_rng`` → ``["np", "random", "default_rng"]``;
+    returns ``[]`` when the chain is not rooted in a plain name.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return []
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def is_inf_cast(node: ast.expr) -> bool:
+    """Whether *node* is the sentinel idiom ``float("inf")``/``float("-inf")``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lstrip("+-") in {"inf", "Infinity"}
+    )
+
+
+def iter_value_literals(node: ast.expr) -> Iterator[ast.Constant]:
+    """Yield numeric literals appearing in *value position* of *node*.
+
+    "Value position" means the literal could end up stored or sent as an
+    identifier: conditional *tests* and comparison operands are skipped
+    (``id1 if rng.random() < 0.5 else id2`` stores ``id1``/``id2``, never
+    ``0.5``), while the branches of conditionals, the operands of
+    arithmetic, boolean operands, and call arguments are all value
+    positions.  ``bool`` literals and the ``float("inf")`` sentinel idiom
+    are exempt.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float, complex)) and not isinstance(
+            node.value, bool
+        ):
+            yield node
+        return
+    if isinstance(node, ast.IfExp):
+        # The test chooses *which* value flows; it is not itself stored.
+        yield from iter_value_literals(node.body)
+        yield from iter_value_literals(node.orelse)
+        return
+    if isinstance(node, (ast.Compare, ast.Lambda)):
+        return
+    if isinstance(node, ast.BoolOp):
+        for value in node.values:
+            yield from iter_value_literals(value)
+        return
+    if isinstance(node, ast.BinOp):
+        yield from iter_value_literals(node.left)
+        yield from iter_value_literals(node.right)
+        return
+    if isinstance(node, ast.UnaryOp):
+        yield from iter_value_literals(node.operand)
+        return
+    if isinstance(node, ast.Call):
+        if is_inf_cast(node):
+            return
+        for arg in node.args:
+            yield from iter_value_literals(arg)
+        for kw in node.keywords:
+            yield from iter_value_literals(kw.value)
+        return
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            yield from iter_value_literals(elt)
+        return
+    # Names, attributes, subscripts, comprehensions, ... carry no literal
+    # in value position that we track.
+    return
+
+
+def module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Yield statements executed at import time (module and class bodies),
+    without descending into function bodies."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield stmt
+        if isinstance(stmt, ast.ClassDef):
+            stack.extend(stmt.body)
+        elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With, ast.Try)):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(stmt, field, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    elif isinstance(child, ast.stmt):
+                        stack.append(child)
+
+
+def defined_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Yield every function/method definition anywhere in *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

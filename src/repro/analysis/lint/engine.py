@@ -1,0 +1,126 @@
+"""The lint engine: file discovery, rule execution, suppression.
+
+The engine is deliberately dependency-free (stdlib only) so the pass can
+run in minimal CI containers before ``numpy``/``scipy`` are installed.
+
+Besides the registered rules, the engine itself reports three conditions
+that must never be suppressed:
+
+* ``syntax-error`` — a file that does not parse;
+* ``bad-pragma`` — a ``# repro-lint:`` comment that does not parse (every
+  suppression must name its rule, keeping ignores auditable);
+* ``unknown-rule`` — a pragma naming a rule id that does not exist (a typo
+  would otherwise silently suppress nothing while looking intentional).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.analysis.lint.unit import ModuleUnit
+
+__all__ = ["lint_source", "lint_paths", "iter_python_files", "exit_code"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".venv", "venv", "build", "dist", ".mypy_cache",
+     ".ruff_cache", ".pytest_cache", "node_modules"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under *paths* (files pass through verbatim)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _pragma_findings(module: ModuleUnit, known: frozenset[str]) -> Iterator[Finding]:
+    for lineno in module.ignores.malformed_lines:
+        yield Finding(
+            rule="bad-pragma",
+            severity=Severity.ERROR,
+            path=module.path,
+            line=lineno,
+            col=0,
+            message=(
+                "malformed repro-lint pragma; the syntax is "
+                "'# repro-lint: ignore[rule-id]'"
+            ),
+        )
+    for lineno, rules in sorted(module.ignores.rules_by_line().items()):
+        for rule_id in sorted(rules):
+            if rule_id != "*" and rule_id not in known:
+                yield Finding(
+                    rule="unknown-rule",
+                    severity=Severity.ERROR,
+                    path=module.path,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"pragma ignores unknown rule '{rule_id}'; known "
+                        f"rules: {', '.join(sorted(known))}"
+                    ),
+                )
+
+
+def lint_source(
+    path: str,
+    source: str,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run *rules* (default: all) over one in-memory module."""
+    active = tuple(rules) if rules is not None else ALL_RULES
+    try:
+        module = ModuleUnit.from_source(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(module):
+            if not module.ignores.is_ignored(finding.rule, finding.line):
+                findings.append(finding)
+    findings.extend(_pragma_findings(module, frozenset(RULES_BY_ID)))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run *rules* (default: all) over every ``.py`` file under *paths*."""
+    findings: list[Finding] = []
+    for filepath in iter_python_files(paths):
+        with open(filepath, encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(lint_source(filepath, source, rules))
+    return findings
+
+
+def exit_code(findings: Iterable[Finding], *, strict: bool = False) -> int:
+    """0 when clean; 1 when any error (or, with *strict*, any finding)."""
+    for finding in findings:
+        if strict or finding.severity is Severity.ERROR:
+            return 1
+    return 0

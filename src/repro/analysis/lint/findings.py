@@ -1,0 +1,76 @@
+"""Finding model of the protocol-aware static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain data: the engine produces them, the CLI renders them (text or
+JSON), and the tests assert on them.  Severity distinguishes **error**
+rules (violations of the compare-store-send model or the determinism
+discipline — they fail the build) from **warning** rules (advisory style
+checks that later PRs may ratchet to errors; see ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections.abc import Iterable
+from dataclasses import asdict, dataclass
+
+__all__ = ["Severity", "Finding", "findings_to_json"]
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit status."""
+
+    #: Violates a protocol/determinism discipline; fails the run.
+    ERROR = "error"
+    #: Advisory; reported but does not fail the run unless ``--strict``.
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier, e.g. ``"store-literal"`` — also the token the
+        inline ``# repro-lint: ignore[rule]`` pragma uses.
+    severity:
+        :class:`Severity` of the owning rule.
+    path:
+        Path of the offending file, as given to the engine.
+    line, col:
+        1-based line and 0-based column of the offending AST node.
+    message:
+        Human-readable description of the violation.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation (severity as its string value)."""
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+    def render(self) -> str:
+        """One-line human-readable rendering (``path:line:col``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Serialize *findings* as a machine-readable JSON document."""
+    items = [f.to_dict() for f in findings]
+    return json.dumps({"findings": items, "count": len(items)}, indent=2)

@@ -1,0 +1,39 @@
+"""Rule interface of the lint engine.
+
+A rule is a stateless object with an identifier (the token used by the
+``# repro-lint: ignore[...]`` pragma), a severity, a one-line summary, the
+paper grounding it enforces, and a :meth:`Rule.check` generator producing
+:class:`~repro.analysis.lint.findings.Finding` objects for one module.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.unit import ModuleUnit
+
+__all__ = ["Rule"]
+
+
+class Rule(abc.ABC):
+    """One named static-analysis check."""
+
+    #: Stable identifier, also the ignore-pragma token (kebab-case).
+    id: ClassVar[str]
+    #: Whether a violation fails the run (see :class:`Severity`).
+    severity: ClassVar[Severity]
+    #: One-line description shown by ``repro-lint --list-rules``.
+    summary: ClassVar[str]
+    #: The paper/model discipline the rule enforces (shown in docs).
+    grounding: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        """Yield findings for *module*."""
+
+    def finding(self, module: ModuleUnit, node, message: str) -> Finding:
+        """Shorthand for a finding owned by this rule."""
+        return module.finding(self.id, self.severity, node, message)

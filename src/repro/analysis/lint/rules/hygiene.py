@@ -1,0 +1,117 @@
+"""Self-stabilization hygiene rules.
+
+A self-stabilizing system's correctness argument is a statement about its
+*program model*: every enabled action executes its guarded commands, and
+every state transition is visible to the proof.  Code that silently
+swallows exceptions executes a transition the model does not have (the
+handler "did nothing" on an arbitrary subset of inputs), and mutable
+default arguments smuggle shared state between calls — both undermine the
+claim that the implementation refines Algorithms 1–10.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules.base import Rule
+from repro.analysis.lint.unit import ModuleUnit
+
+__all__ = ["BareExceptRule", "SilentExceptRule", "MutableDefaultRule"]
+
+#: Constructor calls that produce a fresh mutable object per *definition*
+#: (not per call) when used as a default.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class BareExceptRule(Rule):
+    """``except:`` catches everything, including KeyboardInterrupt."""
+
+    id = "bare-except"
+    severity = Severity.ERROR
+    summary = "bare 'except:' clause; name the exceptions the model expects"
+    grounding = (
+        "a handler that catches everything executes transitions outside the "
+        "compare-store-send program model; stabilization proofs assume "
+        "failures are crashes or channel losses, not silent continuations"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' clause; catch specific exceptions so "
+                    "unexpected transitions stay visible",
+                )
+
+
+class SilentExceptRule(Rule):
+    """An except body of only ``pass`` hides a state transition."""
+
+    id = "silent-except"
+    severity = Severity.WARNING
+    summary = "exception swallowed with a pass-only body"
+    grounding = (
+        "silently ignoring an exception makes the handler a partial "
+        "function the proofs never see; log, re-raise, or handle explicitly"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is Ellipsis
+                )
+                for stmt in node.body
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "exception silently swallowed (pass-only body); handle "
+                    "it, log it, or re-raise",
+                )
+
+
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared state across calls."""
+
+    id = "mutable-default"
+    severity = Severity.ERROR
+    summary = "mutable default argument ([], {}, set(), ...)"
+    grounding = (
+        "a mutable default is one object shared by every call — hidden "
+        "cross-node state in a protocol whose model gives each node "
+        "disjoint internal variables (§III)"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_FACTORIES
+                    and not default.args
+                    and not default.keywords
+                )
+                if bad:
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in '{node.name}'; use "
+                        f"None and construct inside the function",
+                    )

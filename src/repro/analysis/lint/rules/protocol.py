@@ -1,0 +1,270 @@
+"""Compare-store-send and message-dispatch rules (paper §II, DESIGN.md §3).
+
+The paper's correctness argument lives in the *compare-store-send* program
+model of Nor/Nesterenko/Scheideler (Corona, SSS 2011): a handler may only
+**compare** identifiers, **store** identifiers it already holds or has just
+received, and **send** stored identifiers.  Handlers that fabricate
+identifiers out of thin air (numeric literals), dispatch only part of the
+message alphabet, or reach into another node's state or channel are outside
+the model — the self-stabilization proofs say nothing about them.
+
+These rules apply to every *protocol node class*: any class that defines an
+``on_message`` method.  In this repository that is :class:`repro.core.node.Node`;
+the rules are written structurally so future node implementations (sharded,
+batched, accelerated) are covered automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.astutil import iter_value_literals, root_name
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules.base import Rule
+from repro.analysis.lint.unit import ModuleUnit
+
+__all__ = [
+    "StoreLiteralRule",
+    "SendLiteralRule",
+    "DispatchCompleteRule",
+    "ForeignMutationRule",
+    "protocol_node_classes",
+]
+
+#: The identifier-holding fields of ``NodeState`` (paper §III's internal
+#: variables p.l, p.r, p.lrl, p.ring).  ``age`` is a step counter, not an
+#: identifier, and is exempt.
+PROTECTED_FIELDS = frozenset({"l", "r", "lrl", "ring"})
+
+#: The paper's seven message types (§III) — ``on_message`` must dispatch
+#: every one of them.
+MESSAGE_TYPE_NAMES = frozenset(
+    {"LIN", "INCLRL", "RESLRL", "RING", "RESRING", "PROBR", "PROBL"}
+)
+
+#: Message constructor helpers of :mod:`repro.core.messages`.
+MESSAGE_CONSTRUCTORS = frozenset(
+    {"lin", "inclrl", "reslrl", "ring", "resring", "probr", "probl", "Message"}
+)
+
+#: Names through which a handler hands a message to the transport.
+SEND_NAMES = frozenset({"send", "_send"})
+
+
+def protocol_node_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Yield every class in *tree* that defines an ``on_message`` method."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == "on_message"
+            for item in node.body
+        ):
+            yield node
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def _self_aliases(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound (directly or transitively) to ``self`` or its attributes.
+
+    Tracks the protocol idiom ``p = self.state``: storing through ``p`` is
+    storing through ``self``.  The first positional parameter is the seed.
+    """
+    aliases: set[str] = set()
+    if func.args.args:
+        aliases.add(func.args.args[0].arg)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            root = root_name(node.value)
+            if root is None or root not in aliases:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in aliases:
+                    aliases.add(target.id)
+                    changed = True
+    return aliases
+
+
+def _assignment_targets_and_values(
+    node: ast.stmt,
+) -> Iterator[tuple[ast.expr, ast.expr]]:
+    """Yield ``(target, value)`` pairs for plain/aug/annotated assignments."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield target, node.value
+    elif isinstance(node, ast.AugAssign):
+        yield node.target, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.target, node.value
+
+
+class StoreLiteralRule(Rule):
+    """Numeric literal stored into an identifier field of the node state."""
+
+    id = "store-literal"
+    severity = Severity.ERROR
+    summary = (
+        "handler stores a numeric literal into an identifier field "
+        "(p.l/p.r/p.lrl/p.ring)"
+    )
+    grounding = (
+        "compare-store-send model (Nor/Nesterenko/Scheideler, Corona): "
+        "stored identifiers must originate from parameters, existing state, "
+        "or the ±inf sentinels — never from literals"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for cls in protocol_node_classes(module.tree):
+            for method in _methods(cls):
+                for stmt in ast.walk(method):
+                    for target, value in _assignment_targets_and_values(stmt):
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and target.attr in PROTECTED_FIELDS
+                        ):
+                            continue
+                        for literal in iter_value_literals(value):
+                            yield self.finding(
+                                module,
+                                literal,
+                                f"literal {literal.value!r} stored into "
+                                f"identifier field '{target.attr}' in "
+                                f"{cls.name}.{method.name}; identifiers must "
+                                f"come from the message, existing state, or "
+                                f"the ±inf sentinels",
+                            )
+
+
+class SendLiteralRule(Rule):
+    """Numeric literal used as a send destination or message payload."""
+
+    id = "send-literal"
+    severity = Severity.ERROR
+    summary = (
+        "handler sends a numeric literal as a destination or message payload"
+    )
+    grounding = (
+        "compare-store-send model: sent identifiers must be held or received, "
+        "never fabricated; paper §III's handlers only forward known ids"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for cls in protocol_node_classes(module.tree):
+            for method in _methods(cls):
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    called: str | None = None
+                    if isinstance(func, ast.Name):
+                        called = func.id
+                    elif isinstance(func, ast.Attribute):
+                        called = func.attr
+                    if called not in SEND_NAMES and called not in MESSAGE_CONSTRUCTORS:
+                        continue
+                    for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                        # Skip nested message-constructor calls: they are
+                        # themselves call sites visited by this walk, so
+                        # their literal payloads are reported exactly once.
+                        if isinstance(arg, ast.Call):
+                            continue
+                        for literal in iter_value_literals(arg):
+                            yield self.finding(
+                                module,
+                                literal,
+                                f"literal {literal.value!r} passed to "
+                                f"'{called}' in {cls.name}.{method.name}; "
+                                f"destinations and payloads must be stored "
+                                f"or received identifiers",
+                            )
+
+
+class DispatchCompleteRule(Rule):
+    """``on_message`` must dispatch all seven paper message types."""
+
+    id = "dispatch-complete"
+    severity = Severity.ERROR
+    summary = (
+        "on_message must handle all seven message types "
+        "(lin, inclrl, reslrl, ring, resring, probr, probl)"
+    )
+    grounding = (
+        "paper §III defines exactly seven message types; fair message "
+        "receipt (§II-B) assumes every received message is processed — an "
+        "undispatched type silently violates it"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for cls in protocol_node_classes(module.tree):
+            referenced: set[str] = set()
+            for node in ast.walk(cls):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "MessageType"
+                ):
+                    referenced.add(node.attr)
+            missing = sorted(MESSAGE_TYPE_NAMES - referenced)
+            if missing:
+                anchor = next(
+                    m for m in _methods(cls) if m.name == "on_message"
+                )
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"{cls.name}.on_message never dispatches message "
+                    f"type(s) {', '.join(missing)}; all seven paper "
+                    f"message types need a handler",
+                )
+
+
+class ForeignMutationRule(Rule):
+    """Handlers may only mutate their own state — never peers or channels."""
+
+    id = "foreign-mutation"
+    severity = Severity.ERROR
+    summary = (
+        "handler mutates another node's state or touches a channel directly"
+    )
+    grounding = (
+        "message-passing model (§II-A): nodes share no memory; only the "
+        "simulation engine and Channel may move messages, and only a node "
+        "may write its own internal variables"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for cls in protocol_node_classes(module.tree):
+            for method in _methods(cls):
+                aliases = _self_aliases(method)
+                for stmt in ast.walk(method):
+                    for target, _value in _assignment_targets_and_values(stmt):
+                        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                            continue
+                        root = root_name(target)
+                        if root is not None and root not in aliases:
+                            yield self.finding(
+                                module,
+                                target,
+                                f"{cls.name}.{method.name} writes through "
+                                f"'{root}', which is not this node's own "
+                                f"state; handlers may only mutate their own "
+                                f"internal variables",
+                            )
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Attribute) and node.attr == "channel":
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{cls.name}.{method.name} touches a channel "
+                            f"directly; only the simulation engine and "
+                            f"Channel may enqueue or drain messages",
+                        )

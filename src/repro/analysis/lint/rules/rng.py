@@ -1,0 +1,198 @@
+"""RNG-determinism rules.
+
+Probabilistic self-stabilization arguments (paper Theorem 4.1 via the
+move-and-forget process; cf. Devismes/Tixeuil/Yamashita, *Weak vs. Self vs.
+Probabilistic Stabilization*) quantify over the protocol's coin flips.  For
+the reproduction those proofs — and every experiment's reproducibility —
+require all randomness to flow through an explicitly threaded
+``np.random.Generator`` (the way ``Node.on_message`` and ``move_forget``
+already take ``rng``).  Hidden global RNG state (the stdlib ``random``
+module, the legacy ``np.random.*`` singleton) or generators created at
+import time make runs unrepeatable and coin flips unaccountable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.astutil import attribute_chain, module_level_statements
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules.base import Rule
+from repro.analysis.lint.unit import ModuleUnit
+
+__all__ = ["StdlibRandomRule", "LegacyNpRandomRule", "ImportTimeRngRule"]
+
+#: The only attributes of ``numpy.random`` that do not touch the global
+#: singleton: the Generator API and the bit-generator/seeding machinery.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Call targets that construct (or wrap construction of) a generator.
+_RNG_FACTORIES = frozenset({"default_rng", "fresh_rng"})
+
+
+def _numpy_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Return (aliases of ``numpy``, aliases of ``numpy.random``)."""
+    np_aliases: set[str] = set()
+    npr_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    np_aliases.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    # ``import numpy.random as npr`` binds the submodule;
+                    # plain ``import numpy.random`` binds ``numpy``.
+                    if alias.asname:
+                        npr_aliases.add(alias.asname)
+                    else:
+                        np_aliases.add("numpy")
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    npr_aliases.add(alias.asname or "random")
+    return np_aliases, npr_aliases
+
+
+def _is_np_random_chain(
+    chain: list[str], np_aliases: set[str], npr_aliases: set[str]
+) -> str | None:
+    """If *chain* reaches into ``numpy.random``, return the member name."""
+    if len(chain) >= 3 and chain[0] in np_aliases and chain[1] == "random":
+        return chain[2]
+    if len(chain) >= 2 and chain[0] in npr_aliases:
+        return chain[1]
+    return None
+
+
+class StdlibRandomRule(Rule):
+    """The stdlib ``random`` module is process-global, hidden state."""
+
+    id = "stdlib-random"
+    severity = Severity.ERROR
+    summary = "stdlib 'random' module used; thread an np.random.Generator instead"
+    grounding = (
+        "probabilistic stabilization proofs quantify over explicit coin "
+        "flips; the stdlib random module is hidden global state shared "
+        "across the whole process"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of the stdlib 'random' module; pass an "
+                            "np.random.Generator parameter instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from the stdlib 'random' module; pass an "
+                        "np.random.Generator parameter instead",
+                    )
+
+
+class LegacyNpRandomRule(Rule):
+    """The legacy ``np.random.*`` API drives a hidden global singleton."""
+
+    id = "legacy-np-random"
+    severity = Severity.ERROR
+    summary = (
+        "legacy np.random.* singleton API used; only np.random.Generator / "
+        "np.random.default_rng are allowed"
+    )
+    grounding = (
+        "np.random.seed/rand/choice/... mutate one process-global "
+        "RandomState; determinism requires every coin flip to come from a "
+        "threaded Generator"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        np_aliases, npr_aliases = _numpy_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                member = _is_np_random_chain(
+                    attribute_chain(node), np_aliases, npr_aliases
+                )
+                if member is not None and member not in ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"legacy global-RNG attribute 'np.random.{member}'; "
+                        f"use a threaded np.random.Generator",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+            ):
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NP_RANDOM:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of legacy global-RNG member "
+                            f"'numpy.random.{alias.name}'; use a threaded "
+                            f"np.random.Generator",
+                        )
+
+
+class ImportTimeRngRule(Rule):
+    """Generators must not be created (or drawn from) at import time."""
+
+    id = "import-time-rng"
+    severity = Severity.ERROR
+    summary = (
+        "RNG created or used at module scope; construct generators inside "
+        "functions and thread them explicitly"
+    )
+    grounding = (
+        "import-time RNG state makes behavior depend on import order and "
+        "escapes every experiment's seed derivation (experiments/common.py)"
+    )
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        np_aliases, npr_aliases = _numpy_aliases(module.tree)
+        for stmt in module_level_statements(module.tree):
+            if isinstance(stmt, (ast.ClassDef, ast.If, ast.For, ast.While, ast.With, ast.Try)):
+                # Compound statements: their bodies are yielded separately;
+                # visiting them here would double-report.
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                chain = attribute_chain(func)
+                is_rng_call = False
+                if isinstance(func, ast.Name) and func.id in _RNG_FACTORIES:
+                    is_rng_call = True
+                elif chain and _is_np_random_chain(
+                    chain, np_aliases, npr_aliases
+                ) is not None:
+                    is_rng_call = True
+                if is_rng_call:
+                    yield self.finding(
+                        module,
+                        node,
+                        "random generator created or used at module scope; "
+                        "randomness must be constructed inside a function "
+                        "and threaded as an np.random.Generator parameter",
+                    )

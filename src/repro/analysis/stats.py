@@ -17,7 +17,12 @@ def summarize(values: np.ndarray) -> dict[str, float]:
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
         raise ValueError("no values to summarize")
-    mean = float(values.mean())
+    lo = float(values.min())
+    hi = float(values.max())
+    # Pairwise-summation rounding can push the computed mean one ulp
+    # outside [min, max] (e.g. three identical ~7e5 values); the true
+    # mean of finite values always lies in that interval, so clamp.
+    mean = min(max(float(values.mean()), lo), hi)
     std = float(values.std(ddof=1)) if values.size > 1 else 0.0
     sem = std / np.sqrt(values.size) if values.size > 1 else 0.0
     return {
@@ -28,6 +33,6 @@ def summarize(values: np.ndarray) -> dict[str, float]:
         "ci95": float(1.96 * sem),
         "median": float(np.median(values)),
         "p95": float(np.percentile(values, 95)),
-        "min": float(values.min()),
-        "max": float(values.max()),
+        "min": lo,
+        "max": hi,
     }

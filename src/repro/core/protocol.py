@@ -20,12 +20,16 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.forget import DEFAULT_EPSILON
 from repro.core.state import NodeState
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.network import Network
 
 __all__ = ["ProtocolConfig", "build_network"]
 
@@ -61,7 +65,7 @@ def build_network(
     *,
     dedup: bool = True,
     keep_history: bool = False,
-):
+) -> "Network":
     """Assemble a :class:`~repro.sim.network.Network` of protocol nodes.
 
     Parameters

@@ -12,8 +12,6 @@ as n grows.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.exponent import power_law_lrl_ranks
 from repro.experiments.common import ExperimentResult, seed_rng
 from repro.routing.greedy import greedy_route_hops

@@ -15,8 +15,6 @@ backlog — and reports the trajectory plus two verdict checks:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.convergence import track_convergence
 from repro.core.protocol import ProtocolConfig, build_network
 from repro.experiments.common import ExperimentResult, seed_rng

@@ -36,7 +36,6 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.core.messages import Message
-from repro.core.state import NodeState
 from repro.ids import NEG_INF, POS_INF
 from repro.sim.network import Network
 

@@ -10,7 +10,7 @@ from graph structure, which is the adversarial regime for linearization.
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 
 import networkx as nx
 import numpy as np
@@ -38,7 +38,9 @@ def _require_n(n: int, minimum: int = 2) -> None:
         raise ValueError(f"n must be at least {minimum}, got {n}")
 
 
-def _encode(graph: nx.Graph, n: int, rng: np.random.Generator, shuffle_ids: bool) -> list[NodeState]:
+def _encode(
+    graph: nx.Graph, n: int, rng: np.random.Generator, shuffle_ids: bool
+) -> list[NodeState]:
     states = encode_graph(graph, generate_ids(n, rng), rng, shuffle_ids=shuffle_ids)
     assert_weakly_connected(states)
     return states

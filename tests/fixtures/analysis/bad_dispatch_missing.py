@@ -1,0 +1,17 @@
+"""Known-bad: on_message dispatches only five of the seven types."""
+
+
+class PartialDispatchNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            self.linearize(m.id, send)
+        elif t is MessageType.INCLRL:
+            self.respond_lrl(m.id, send)
+        elif t is MessageType.RESLRL:
+            self.move_forget(m.responder, m.id1, m.id2, rng, send)
+        elif t is MessageType.PROBR:
+            self.probing_r(m.id, send)
+        elif t is MessageType.PROBL:
+            self.probing_l(m.id, send)
+        # RING and RESRING silently dropped: ring formation never runs.

@@ -1,0 +1,16 @@
+"""Known-bad: handler reaches into a peer's state and channel."""
+
+
+class IntrusiveNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            self.adopt(m.sender, send)
+        elif t in (MessageType.INCLRL, MessageType.RESLRL, MessageType.RING,
+                   MessageType.RESRING, MessageType.PROBR, MessageType.PROBL):
+            pass
+
+    def adopt(self, other, send):
+        # Shared-memory shortcut: the message-passing model forbids both.
+        other.state.l = self.state.id
+        other.channel.put(lin(self.state.id))

@@ -1,0 +1,15 @@
+"""Known-bad: bare/silent excepts and a mutable default argument."""
+
+
+def scheduler_step(network, seen=[]):
+    try:
+        network.step()
+    except:
+        pass
+
+
+def quiet_probe(node):
+    try:
+        node.probe()
+    except ValueError:
+        pass

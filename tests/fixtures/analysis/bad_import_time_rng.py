@@ -1,0 +1,10 @@
+"""Known-bad: generator constructed at import time (import-order coupling)."""
+
+import numpy as np
+
+RNG = np.random.default_rng(42)
+JITTER = RNG.random()
+
+
+def noisy(x):
+    return x + JITTER

@@ -1,0 +1,9 @@
+"""Known-bad: legacy numpy global-singleton RNG API."""
+
+import numpy as np
+from numpy.random import rand
+
+
+def sample(n):
+    np.random.seed(7)
+    return np.random.random(n) + rand(n)

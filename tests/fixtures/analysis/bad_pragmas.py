@@ -1,0 +1,9 @@
+"""Known-bad: unauditable pragmas (malformed, unknown rule)."""
+
+
+def a():
+    return 1  # repro-lint: disable everything
+
+
+def b():
+    return 2  # repro-lint: ignore[no-such-rule]

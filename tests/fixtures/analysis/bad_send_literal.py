@@ -1,0 +1,16 @@
+"""Known-bad: handler sends fabricated identifiers."""
+
+
+class BadSendNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            self.forward(m.id, send)
+        elif t in (MessageType.INCLRL, MessageType.RESLRL, MessageType.RING,
+                   MessageType.RESRING, MessageType.PROBR, MessageType.PROBL):
+            pass
+
+    def forward(self, nid, send):
+        self._send(send, 0.5, lin(nid))   # literal destination
+        self._send(send, self.state.r, lin(0.25))  # literal payload
+        send(self.state.l, probr(0.875))  # direct send, literal payload

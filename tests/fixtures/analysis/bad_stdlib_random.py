@@ -1,0 +1,9 @@
+"""Known-bad: stdlib random module (hidden process-global RNG state)."""
+
+import random
+from random import choice
+
+
+def pick(items):
+    random.shuffle(items)
+    return choice(items)

@@ -1,0 +1,17 @@
+"""Known-bad: handler fabricates identifiers into state fields."""
+
+
+class BadStoreNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            self.linearize(m.id, send)
+        elif t in (MessageType.INCLRL, MessageType.RESLRL, MessageType.RING,
+                   MessageType.RESRING, MessageType.PROBR, MessageType.PROBL):
+            pass
+
+    def linearize(self, nid, send):
+        p = self.state
+        p.r = 0.75          # fabricated identifier (store-literal)
+        p.lrl = nid + 0.125  # arithmetic literal in value position
+        p.ring = 1e-3 if nid > p.id else p.ring

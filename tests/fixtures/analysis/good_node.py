@@ -1,0 +1,63 @@
+"""Known-good protocol node: full dispatch, compare-store-send clean."""
+
+
+class GoodNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            self.linearize(m.id, send)
+        elif t is MessageType.INCLRL:
+            self.respond_lrl(m.id, send)
+        elif t is MessageType.RESLRL:
+            self.move_forget(m.responder, m.id1, m.id2, rng, send)
+        elif t is MessageType.PROBR:
+            self.probing_r(m.id, send)
+        elif t is MessageType.PROBL:
+            self.probing_l(m.id, send)
+        elif t is MessageType.RING:
+            self.respond_ring(m.id, send)
+        elif t is MessageType.RESRING:
+            self.update_ring(m.id, send)
+
+    def linearize(self, nid, send):
+        p = self.state
+        if nid > p.id:
+            if nid < p.r:
+                self._send(send, nid, lin(p.r))
+                p.r = nid
+            else:
+                self._send(send, p.r, lin(nid))
+        elif nid < p.id:
+            if nid > p.l:
+                p.l = nid
+
+    def move_forget(self, responder, id1, id2, rng, send):
+        p = self.state
+        # A literal in the *test* of a conditional is a comparison, not a
+        # stored identifier — compare-store-send allows comparisons.
+        p.lrl = id1 if rng.random() < 0.5 else id2
+        p.age += 1
+        if rng.random() < 0.25:
+            p.lrl = p.id
+            p.age = 0
+
+    def update_ring(self, candidate, send):
+        p = self.state
+        p.ring = None
+        p.ring = candidate
+
+    def respond_lrl(self, origin, send):
+        p = self.state
+        # The float("inf") sentinel idiom is the model's ±inf, not a
+        # fabricated identifier.
+        right = p.ring if p.ring is not None else float("inf")
+        self._send(send, origin, reslrl(p.id, p.l, right))
+
+    def probing_r(self, dest, send):
+        self._send(send, self.state.r, probr(dest))
+
+    def probing_l(self, dest, send):
+        self._send(send, self.state.l, probl(dest))
+
+    def respond_ring(self, origin, send):
+        self._send(send, origin, resring(self.state.r))

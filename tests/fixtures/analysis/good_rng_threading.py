@@ -1,0 +1,16 @@
+"""Known-good RNG discipline: generators built in functions, threaded."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def flip(rng: np.random.Generator) -> bool:
+    return bool(rng.random() < 0.5)
+
+
+def derive(seed_sequence: np.random.SeedSequence) -> np.random.Generator:
+    child, = seed_sequence.spawn(1)
+    return np.random.Generator(np.random.PCG64(child))

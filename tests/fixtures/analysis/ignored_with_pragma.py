@@ -1,0 +1,30 @@
+"""Known-good via pragma: a justified, rule-named suppression.
+
+The stored literal below is a deliberate fixture of an out-of-model reset
+(a corrupted-state experiment helper), so the suppression names the rule
+and documents why — exactly the discipline ISSUE 1 requires.
+"""
+
+
+class ResettingNode:
+    def on_message(self, m, send, rng):
+        t = m.type
+        if t is MessageType.LIN:
+            pass
+        elif t is MessageType.INCLRL:
+            pass
+        elif t is MessageType.RESLRL:
+            pass
+        elif t is MessageType.RING:
+            pass
+        elif t is MessageType.RESRING:
+            pass
+        elif t is MessageType.PROBR:
+            pass
+        elif t is MessageType.PROBL:
+            pass
+
+    def hard_reset(self):
+        # Adversarial-experiment helper, not a protocol transition:
+        # out-of-model by construction.
+        self.state.lrl = 0.0  # repro-lint: ignore[store-literal]

@@ -1,0 +1,110 @@
+"""CLI behavior of ``repro-lint`` (text/JSON output, exit codes, filters)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.lint.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "analysis"
+
+
+def test_clean_file_exits_zero(capsys):
+    rc = main([str(FIXTURES / "good_node.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "clean" in out
+
+
+def test_bad_file_exits_one_and_reports(capsys):
+    rc = main([str(FIXTURES / "bad_store_literal.py")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "store-literal" in out
+    assert "error(s)" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    rc = main(["--format", "json", str(FIXTURES / "bad_send_literal.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["count"] == len(payload["findings"]) == 3
+    first = payload["findings"][0]
+    assert set(first) == {"rule", "severity", "path", "line", "col", "message"}
+    assert first["rule"] == "send-literal"
+    assert first["severity"] == "error"
+
+
+def test_json_output_clean(capsys):
+    rc = main(["--format", "json", str(FIXTURES / "good_rng_threading.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload == {"findings": [], "count": 0}
+
+
+def test_select_runs_only_named_rules(capsys):
+    rc = main(
+        ["--select", "stdlib-random", str(FIXTURES / "bad_hygiene.py")]
+    )
+    capsys.readouterr()
+    assert rc == 0  # hygiene violations exist but the rule was not selected
+
+
+def test_ignore_drops_named_rules(capsys):
+    rc = main(
+        [
+            "--ignore",
+            "bare-except,silent-except,mutable-default",
+            str(FIXTURES / "bad_hygiene.py"),
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0
+
+
+def test_strict_promotes_warnings(capsys):
+    args = [
+        "--select",
+        "silent-except",
+        str(FIXTURES / "bad_hygiene.py"),
+    ]
+    assert main(args) == 0
+    assert main(["--strict", *args]) == 1
+    capsys.readouterr()
+
+
+def test_nonexistent_path_is_a_usage_error_not_clean(capsys):
+    # A typo'd path in CI must fail loudly, not report "clean".
+    with pytest.raises(SystemExit) as excinfo:
+        main(["no/such/path"])
+    assert excinfo.value.code == 2
+    assert "do not exist" in capsys.readouterr().err
+
+
+def test_unknown_rule_id_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select", "not-a-rule", str(FIXTURES)])
+    assert excinfo.value.code == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalogue(capsys):
+    rc = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule_id in (
+        "store-literal",
+        "send-literal",
+        "dispatch-complete",
+        "foreign-mutation",
+        "stdlib-random",
+        "legacy-np-random",
+        "import-time-rng",
+        "bare-except",
+        "silent-except",
+        "mutable-default",
+    ):
+        assert rule_id in out

@@ -1,0 +1,200 @@
+"""Per-rule unit tests for the protocol-aware lint pass.
+
+Every rule family has at least one known-bad fixture proving it fires and
+known-good fixtures proving it stays silent (ISSUE 1's acceptance
+criterion).  Fixtures live in ``tests/fixtures/analysis/`` and are parsed,
+never imported.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import (
+    ALL_RULES,
+    RULES_BY_ID,
+    Severity,
+    exit_code,
+    lint_paths,
+    lint_source,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "analysis"
+
+
+def lint_fixture(name: str):
+    path = FIXTURES / name
+    return lint_source(str(path), path.read_text(encoding="utf-8"))
+
+
+def fired(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Known-good fixtures stay silent
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "fixture", ["good_node.py", "good_rng_threading.py", "ignored_with_pragma.py"]
+)
+def test_good_fixture_is_clean(fixture):
+    findings = lint_fixture(fixture)
+    assert findings == [], [f.render() for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Known-bad fixtures fire exactly their rule family
+# ----------------------------------------------------------------------
+def test_store_literal_fires():
+    findings = lint_fixture("bad_store_literal.py")
+    assert fired(findings) == {"store-literal"}
+    assert len(findings) == 3  # 0.75, 0.125 (arithmetic), 1e-3 (IfExp body)
+    messages = " ".join(f.message for f in findings)
+    for literal in ("0.75", "0.125", "0.001"):
+        assert literal in messages
+
+
+def test_send_literal_fires():
+    findings = lint_fixture("bad_send_literal.py")
+    assert fired(findings) == {"send-literal"}
+    values = sorted(f.message.split()[1] for f in findings)
+    assert values == ["0.25", "0.5", "0.875"]
+
+
+def test_dispatch_completeness_fires_and_names_missing_types():
+    findings = lint_fixture("bad_dispatch_missing.py")
+    assert fired(findings) == {"dispatch-complete"}
+    (finding,) = findings
+    assert "RESRING" in finding.message and "RING" in finding.message
+    assert "LIN" not in finding.message.split("type(s) ")[1].split(",")[0]
+
+
+def test_foreign_mutation_fires_on_state_and_channel():
+    findings = lint_fixture("bad_foreign_mutation.py")
+    assert fired(findings) == {"foreign-mutation"}
+    messages = " ".join(f.message for f in findings)
+    assert "writes through 'other'" in messages
+    assert "channel" in messages
+    assert len(findings) == 2
+
+
+def test_stdlib_random_fires_on_both_import_forms():
+    findings = lint_fixture("bad_stdlib_random.py")
+    assert fired(findings) == {"stdlib-random"}
+    assert len(findings) == 2  # import random; from random import choice
+
+
+def test_legacy_np_random_fires():
+    findings = lint_fixture("bad_legacy_np_random.py")
+    assert fired(findings) == {"legacy-np-random"}
+    messages = " ".join(f.message for f in findings)
+    assert "np.random.seed" in messages
+    assert "np.random.random" in messages
+    assert "numpy.random.rand" in messages
+
+
+def test_import_time_rng_fires_at_module_scope_only():
+    findings = lint_fixture("bad_import_time_rng.py")
+    assert fired(findings) == {"import-time-rng"}
+    assert all(f.line == 5 for f in findings)
+
+
+def test_hygiene_rules_fire():
+    findings = lint_fixture("bad_hygiene.py")
+    assert fired(findings) == {"bare-except", "silent-except", "mutable-default"}
+    by_rule = {f.rule: f for f in findings}
+    assert by_rule["bare-except"].severity is Severity.ERROR
+    assert by_rule["silent-except"].severity is Severity.WARNING
+    # Two silent excepts: the bare one and the ValueError one.
+    assert sum(1 for f in findings if f.rule == "silent-except") == 2
+
+
+# ----------------------------------------------------------------------
+# Pragmas: auditable suppression
+# ----------------------------------------------------------------------
+def test_pragma_suppresses_named_rule_only():
+    src = (
+        "class N:\n"
+        "    def on_message(self, m, send, rng):\n"
+        "        pass\n"
+        "    def h(self):\n"
+        "        self.state.r = 0.5  # repro-lint: ignore[store-literal]\n"
+    )
+    findings = lint_source("<mem>", src)
+    # store-literal suppressed; dispatch-complete still reported.
+    assert fired(findings) == {"dispatch-complete"}
+
+
+def test_pragma_wildcard_suppresses_everything_on_line():
+    src = (
+        "class N:\n"
+        "    def on_message(self, m, send, rng):\n"
+        "        self.state.r = 0.5  # repro-lint: ignore[*]\n"
+    )
+    findings = lint_source("<mem>", src)
+    assert "store-literal" not in fired(findings)
+
+
+def test_pragma_in_docstring_is_prose_not_suppression():
+    src = '"""docs say use # repro-lint: ignore[store-literal]"""\nx = 1\n'
+    assert lint_source("<mem>", src) == []
+
+
+def test_malformed_and_unknown_pragmas_are_reported():
+    findings = lint_fixture("bad_pragmas.py")
+    assert fired(findings) == {"bad-pragma", "unknown-rule"}
+    unknown = next(f for f in findings if f.rule == "unknown-rule")
+    assert "no-such-rule" in unknown.message
+
+
+# ----------------------------------------------------------------------
+# Engine behavior
+# ----------------------------------------------------------------------
+def test_syntax_error_is_a_finding_not_a_crash():
+    findings = lint_source("<mem>", "def broken(:\n")
+    assert fired(findings) == {"syntax-error"}
+    assert exit_code(findings) == 1
+
+
+def test_exit_code_semantics():
+    warning_only = lint_fixture("bad_hygiene.py")
+    warnings = [f for f in warning_only if f.severity is Severity.WARNING]
+    assert exit_code([]) == 0
+    assert exit_code(warnings) == 0
+    assert exit_code(warnings, strict=True) == 1
+    assert exit_code(warning_only) == 1
+
+
+def test_rule_selection_subsets_findings():
+    rules = [RULES_BY_ID["stdlib-random"]]
+    path = FIXTURES / "bad_hygiene.py"
+    findings = lint_source(str(path), path.read_text(encoding="utf-8"), rules)
+    assert findings == []
+
+
+def test_lint_paths_discovers_fixture_directory():
+    findings = lint_paths([str(FIXTURES)])
+    assert {f.rule for f in findings} >= {
+        "store-literal",
+        "send-literal",
+        "dispatch-complete",
+        "foreign-mutation",
+        "stdlib-random",
+        "legacy-np-random",
+        "import-time-rng",
+        "bare-except",
+        "mutable-default",
+    }
+    # Every finding points at a bad_* fixture; good fixtures stay clean.
+    for finding in findings:
+        assert pathlib.Path(finding.path).name.startswith("bad_")
+
+
+def test_registry_is_consistent():
+    assert len({rule.id for rule in ALL_RULES}) == len(ALL_RULES)
+    for rule in ALL_RULES:
+        assert RULES_BY_ID[rule.id] is rule
+        assert rule.summary
+        assert rule.grounding
