@@ -23,61 +23,65 @@ Quickstart::
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduced results.
+
+The top-level namespace is populated lazily (PEP 562): importing
+``repro`` itself pulls in nothing heavy, so stdlib-only subsystems such
+as :mod:`repro.analysis.lint` stay importable in environments without
+the scientific stack (e.g. the fast repro-lint CI job).  The first
+*attribute* access — ``repro.Simulator``, ``from repro import Node`` —
+triggers the real import.
 """
 
-from repro.core import (
-    Message,
-    MessageType,
-    Node,
-    NodeState,
-    ProtocolConfig,
-)
-from repro.core.protocol import build_network
-from repro.graphs import (
-    is_sorted_list,
-    is_sorted_ring,
-    phase_predicates,
-    stable_ring_states,
-)
-from repro.ids import NEG_INF, POS_INF
-from repro.sim import AsyncScheduler, Network, Simulator, SynchronousScheduler
-from repro.topology import (
-    TOPOLOGIES,
-    clique_topology,
-    corrupted_ring_topology,
-    gnp_topology,
-    line_topology,
-    lollipop_topology,
-    random_tree_topology,
-    star_topology,
-)
+from __future__ import annotations
+
+import importlib
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "AsyncScheduler",
-    "Message",
-    "MessageType",
-    "NEG_INF",
-    "Network",
-    "Node",
-    "NodeState",
-    "POS_INF",
-    "ProtocolConfig",
-    "Simulator",
-    "SynchronousScheduler",
-    "TOPOLOGIES",
-    "build_network",
-    "clique_topology",
-    "corrupted_ring_topology",
-    "gnp_topology",
-    "is_sorted_list",
-    "is_sorted_ring",
-    "line_topology",
-    "lollipop_topology",
-    "phase_predicates",
-    "random_tree_topology",
-    "stable_ring_states",
-    "star_topology",
-    "__version__",
-]
+#: Lazy export table: public name -> providing module.  Attribute access
+#: imports the module on first use and caches the value in ``globals()``.
+_EXPORTS: dict[str, str] = {
+    "Message": "repro.core",
+    "MessageType": "repro.core",
+    "Node": "repro.core",
+    "NodeState": "repro.core",
+    "ProtocolConfig": "repro.core",
+    "build_network": "repro.core.protocol",
+    "is_sorted_list": "repro.graphs",
+    "is_sorted_ring": "repro.graphs",
+    "phase_predicates": "repro.graphs",
+    "stable_ring_states": "repro.graphs",
+    "NEG_INF": "repro.ids",
+    "POS_INF": "repro.ids",
+    "AsyncScheduler": "repro.sim",
+    "Network": "repro.sim",
+    "Simulator": "repro.sim",
+    "SynchronousScheduler": "repro.sim",
+    "TOPOLOGIES": "repro.topology",
+    "clique_topology": "repro.topology",
+    "corrupted_ring_topology": "repro.topology",
+    "gnp_topology": "repro.topology",
+    "line_topology": "repro.topology",
+    "lollipop_topology": "repro.topology",
+    "random_tree_topology": "repro.topology",
+    "star_topology": "repro.topology",
+}
+
+__all__ = [*sorted(_EXPORTS), "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -9,27 +9,49 @@
 * :mod:`repro.analysis.stats` — summary statistics with confidence
   intervals.
 * :mod:`repro.analysis.tables` — ASCII tables for the benchmark harness.
+* :mod:`repro.analysis.lint` — the protocol-aware static-analysis pass
+  (``repro-lint``), stdlib-only.
+
+Like the top-level package, this namespace resolves its re-exports
+lazily (PEP 562): ``import repro.analysis.lint`` must work without
+numpy/scipy installed (the repro-lint CI job runs before the scientific
+stack), so the measurement modules are only imported on first attribute
+access.
 """
 
-from repro.analysis.distribution import (
-    empirical_pmf,
-    ks_distance,
-    loglog_slope,
-)
-from repro.analysis.scaling import fit_polylog, fit_power, compare_scaling
-from repro.analysis.smallworld import overlay_graph, smallworld_metrics
-from repro.analysis.stats import summarize
-from repro.analysis.tables import format_table
+from __future__ import annotations
 
-__all__ = [
-    "compare_scaling",
-    "empirical_pmf",
-    "fit_polylog",
-    "fit_power",
-    "format_table",
-    "ks_distance",
-    "loglog_slope",
-    "overlay_graph",
-    "smallworld_metrics",
-    "summarize",
-]
+import importlib
+from typing import Any
+
+#: Lazy export table: public name -> providing module.
+_EXPORTS: dict[str, str] = {
+    "empirical_pmf": "repro.analysis.distribution",
+    "ks_distance": "repro.analysis.distribution",
+    "loglog_slope": "repro.analysis.distribution",
+    "compare_scaling": "repro.analysis.scaling",
+    "fit_polylog": "repro.analysis.scaling",
+    "fit_power": "repro.analysis.scaling",
+    "overlay_graph": "repro.analysis.smallworld",
+    "smallworld_metrics": "repro.analysis.smallworld",
+    "summarize": "repro.analysis.stats",
+    "format_table": "repro.analysis.tables",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 __all__ = [
     "root_name",
@@ -58,7 +58,11 @@ def is_inf_cast(node: ast.expr) -> bool:
     )
 
 
-def iter_value_literals(node: ast.expr) -> Iterator[ast.Constant]:
+def iter_value_literals(
+    node: ast.expr,
+    *,
+    skip_call: Callable[[ast.Call], bool] | None = None,
+) -> Iterator[ast.Constant]:
     """Yield numeric literals appearing in *value position* of *node*.
 
     "Value position" means the literal could end up stored or sent as an
@@ -68,6 +72,11 @@ def iter_value_literals(node: ast.expr) -> Iterator[ast.Constant]:
     arithmetic, boolean operands, and call arguments are all value
     positions.  ``bool`` literals and the ``float("inf")`` sentinel idiom
     are exempt.
+
+    ``skip_call`` lets a caller prune call subtrees it reports through
+    another path (e.g. :class:`SendLiteralRule` revisits nested message
+    constructors as call sites of their own, so descending into them here
+    would double-report their literals).
     """
     if isinstance(node, ast.Constant):
         if isinstance(node.value, (int, float, complex)) and not isinstance(
@@ -77,33 +86,35 @@ def iter_value_literals(node: ast.expr) -> Iterator[ast.Constant]:
         return
     if isinstance(node, ast.IfExp):
         # The test chooses *which* value flows; it is not itself stored.
-        yield from iter_value_literals(node.body)
-        yield from iter_value_literals(node.orelse)
+        yield from iter_value_literals(node.body, skip_call=skip_call)
+        yield from iter_value_literals(node.orelse, skip_call=skip_call)
         return
     if isinstance(node, (ast.Compare, ast.Lambda)):
         return
     if isinstance(node, ast.BoolOp):
         for value in node.values:
-            yield from iter_value_literals(value)
+            yield from iter_value_literals(value, skip_call=skip_call)
         return
     if isinstance(node, ast.BinOp):
-        yield from iter_value_literals(node.left)
-        yield from iter_value_literals(node.right)
+        yield from iter_value_literals(node.left, skip_call=skip_call)
+        yield from iter_value_literals(node.right, skip_call=skip_call)
         return
     if isinstance(node, ast.UnaryOp):
-        yield from iter_value_literals(node.operand)
+        yield from iter_value_literals(node.operand, skip_call=skip_call)
         return
     if isinstance(node, ast.Call):
         if is_inf_cast(node):
             return
+        if skip_call is not None and skip_call(node):
+            return
         for arg in node.args:
-            yield from iter_value_literals(arg)
+            yield from iter_value_literals(arg, skip_call=skip_call)
         for kw in node.keywords:
-            yield from iter_value_literals(kw.value)
+            yield from iter_value_literals(kw.value, skip_call=skip_call)
         return
     if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
         for elt in node.elts:
-            yield from iter_value_literals(elt)
+            yield from iter_value_literals(elt, skip_call=skip_call)
         return
     # Names, attributes, subscripts, comprehensions, ... carry no literal
     # in value position that we track.
@@ -112,13 +123,19 @@ def iter_value_literals(node: ast.expr) -> Iterator[ast.Constant]:
 
 def module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
     """Yield statements executed at import time (module and class bodies),
-    without descending into function bodies."""
+    without descending into function bodies.
+
+    Function definitions *are* yielded — their decorators and default
+    arguments evaluate at import time even though their bodies do not —
+    so callers must not blindly ``ast.walk`` a yielded statement; compound
+    statements reappear with their bodies flattened into the stream.
+    """
     stack: list[ast.stmt] = list(tree.body)
     while stack:
         stmt = stack.pop()
+        yield stmt
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        yield stmt
         if isinstance(stmt, ast.ClassDef):
             stack.extend(stmt.body)
         elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With, ast.Try)):

@@ -3,10 +3,13 @@
 The engine is deliberately dependency-free (stdlib only) so the pass can
 run in minimal CI containers before ``numpy``/``scipy`` are installed.
 
-Besides the registered rules, the engine itself reports three conditions
+Besides the registered rules, the engine itself reports four conditions
 that must never be suppressed:
 
 * ``syntax-error`` — a file that does not parse;
+* ``unreadable-file`` — a file that cannot be read as UTF-8 text (wrong
+  encoding, permissions, a vanished symlink); one bad file fails loudly
+  while the rest of the tree is still linted;
 * ``bad-pragma`` — a ``# repro-lint:`` comment that does not parse (every
   suppression must name its rule, keeping ignores auditable);
 * ``unknown-rule`` — a pragma naming a rule id that does not exist (a typo
@@ -112,8 +115,21 @@ def lint_paths(
     """Run *rules* (default: all) over every ``.py`` file under *paths*."""
     findings: list[Finding] = []
     for filepath in iter_python_files(paths):
-        with open(filepath, encoding="utf-8") as fh:
-            source = fh.read()
+        try:
+            with open(filepath, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule="unreadable-file",
+                    severity=Severity.ERROR,
+                    path=filepath,
+                    line=1,
+                    col=0,
+                    message=f"file cannot be read as UTF-8 text: {exc}",
+                )
+            )
+            continue
         findings.extend(lint_source(filepath, source, rules))
     return findings
 

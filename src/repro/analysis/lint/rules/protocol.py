@@ -52,6 +52,22 @@ MESSAGE_CONSTRUCTORS = frozenset(
 SEND_NAMES = frozenset({"send", "_send"})
 
 
+def _callee_name(call: ast.Call) -> str | None:
+    """The simple name a call dispatches through (``f(...)``/``o.f(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_protocol_call(call: ast.Call) -> bool:
+    """Whether *call* is a send or message-constructor call site."""
+    called = _callee_name(call)
+    return called in SEND_NAMES or called in MESSAGE_CONSTRUCTORS
+
+
 def protocol_node_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
     """Yield every class in *tree* that defines an ``on_message`` method."""
     for node in ast.walk(tree):
@@ -94,13 +110,43 @@ def _self_aliases(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
     return aliases
 
 
+def _unpack_target(
+    target: ast.expr, value: ast.expr
+) -> Iterator[tuple[ast.expr, ast.expr]]:
+    """Flatten tuple/list/starred assignment targets into leaf pairs.
+
+    ``self.state.l, other.state.r = a, b`` pairs each leaf target with its
+    positionally matching value; when the value side cannot be split
+    (a function call, mismatched lengths, a starred target), every leaf
+    target is paired with the whole value expression.
+    """
+    if isinstance(target, ast.Starred):
+        yield from _unpack_target(target.value, value)
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        elts = target.elts
+        if (
+            isinstance(value, (ast.Tuple, ast.List))
+            and len(value.elts) == len(elts)
+            and not any(isinstance(e, ast.Starred) for e in elts)
+        ):
+            for t, v in zip(elts, value.elts):
+                yield from _unpack_target(t, v)
+        else:
+            for t in elts:
+                yield from _unpack_target(t, value)
+        return
+    yield target, value
+
+
 def _assignment_targets_and_values(
     node: ast.stmt,
 ) -> Iterator[tuple[ast.expr, ast.expr]]:
-    """Yield ``(target, value)`` pairs for plain/aug/annotated assignments."""
+    """Yield leaf ``(target, value)`` pairs for plain/aug/annotated
+    assignments, recursing through tuple-unpacking targets."""
     if isinstance(node, ast.Assign):
         for target in node.targets:
-            yield target, node.value
+            yield from _unpack_target(target, node.value)
     elif isinstance(node, ast.AugAssign):
         yield node.target, node.value
     elif isinstance(node, ast.AnnAssign) and node.value is not None:
@@ -163,21 +209,18 @@ class SendLiteralRule(Rule):
                 for node in ast.walk(method):
                     if not isinstance(node, ast.Call):
                         continue
-                    func = node.func
-                    called: str | None = None
-                    if isinstance(func, ast.Name):
-                        called = func.id
-                    elif isinstance(func, ast.Attribute):
-                        called = func.attr
+                    called = _callee_name(node)
                     if called not in SEND_NAMES and called not in MESSAGE_CONSTRUCTORS:
                         continue
                     for arg in [*node.args, *(kw.value for kw in node.keywords)]:
-                        # Skip nested message-constructor calls: they are
-                        # themselves call sites visited by this walk, so
-                        # their literal payloads are reported exactly once.
-                        if isinstance(arg, ast.Call):
-                            continue
-                        for literal in iter_value_literals(arg):
+                        # Nested send/constructor calls are call sites of
+                        # their own in this walk, so prune them here to
+                        # report each literal exactly once.  Any *other*
+                        # call (a helper laundering a literal payload) is
+                        # descended into.
+                        for literal in iter_value_literals(
+                            arg, skip_call=_is_protocol_call
+                        ):
                             yield self.finding(
                                 module,
                                 literal,
@@ -227,6 +270,45 @@ class DispatchCompleteRule(Rule):
                 )
 
 
+#: Constructor names whose call (like a display literal) yields a fresh,
+#: method-local object: mutating it is not foreign mutation.
+_FRESH_CONTAINER_FACTORIES = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque",
+     "Counter", "OrderedDict"}
+)
+
+
+def _is_fresh_container(value: ast.expr) -> bool:
+    """Whether *value* constructs a new object owned by the enclosing scope."""
+    return isinstance(
+        value,
+        (ast.Dict, ast.List, ast.Set, ast.Tuple,
+         ast.ListComp, ast.SetComp, ast.DictComp),
+    ) or (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _FRESH_CONTAINER_FACTORIES
+    )
+
+
+def _local_container_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names bound to freshly constructed containers inside *func*.
+
+    Writing ``buf[k] = v`` on such a name mutates handler-local scratch
+    state, not another node — the foreign-mutation rule exempts them.
+    """
+    names: set[str] = set()
+    for stmt in ast.walk(func):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        for target, value in _assignment_targets_and_values(stmt):
+            if isinstance(target, ast.Name) and _is_fresh_container(value):
+                names.add(target.id)
+    return names
+
+
 class ForeignMutationRule(Rule):
     """Handlers may only mutate their own state — never peers or channels."""
 
@@ -245,12 +327,13 @@ class ForeignMutationRule(Rule):
         for cls in protocol_node_classes(module.tree):
             for method in _methods(cls):
                 aliases = _self_aliases(method)
+                owned = aliases | _local_container_names(method)
                 for stmt in ast.walk(method):
                     for target, _value in _assignment_targets_and_values(stmt):
                         if not isinstance(target, (ast.Attribute, ast.Subscript)):
                             continue
                         root = root_name(target)
-                        if root is not None and root not in aliases:
+                        if root is not None and root not in owned:
                             yield self.finding(
                                 module,
                                 target,

@@ -155,6 +155,43 @@ class LegacyNpRandomRule(Rule):
                         )
 
 
+def _import_time_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expressions of *stmt* that evaluate at import time.
+
+    Bodies of compound statements are excluded — they come through
+    :func:`module_level_statements` as statements of their own — but their
+    *headers* (an ``if`` test, a ``for`` iterable, ``with`` context
+    managers) evaluate when the statement is reached.  Function bodies are
+    deferred, but decorators and default arguments evaluate at definition
+    time.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from stmt.decorator_list
+        yield from stmt.args.defaults
+        yield from (d for d in stmt.args.kw_defaults if d is not None)
+    elif isinstance(stmt, ast.ClassDef):
+        yield from stmt.decorator_list
+        yield from stmt.bases
+        yield from (kw.value for kw in stmt.keywords)
+    elif isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        yield from (item.context_expr for item in stmt.items)
+    elif isinstance(stmt, ast.Try):
+        # Bodies/handlers are yielded separately; exception *type*
+        # expressions only evaluate on a raise, which no proof models.
+        return
+    else:
+        # Simple statement: every expression in it evaluates now.
+        yield from (
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)
+        )
+
+
 class ImportTimeRngRule(Rule):
     """Generators must not be created (or drawn from) at import time."""
 
@@ -172,27 +209,25 @@ class ImportTimeRngRule(Rule):
     def check(self, module: ModuleUnit) -> Iterator[Finding]:
         np_aliases, npr_aliases = _numpy_aliases(module.tree)
         for stmt in module_level_statements(module.tree):
-            if isinstance(stmt, (ast.ClassDef, ast.If, ast.For, ast.While, ast.With, ast.Try)):
-                # Compound statements: their bodies are yielded separately;
-                # visiting them here would double-report.
-                continue
-            for node in ast.walk(stmt):
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                chain = attribute_chain(func)
-                is_rng_call = False
-                if isinstance(func, ast.Name) and func.id in _RNG_FACTORIES:
-                    is_rng_call = True
-                elif chain and _is_np_random_chain(
-                    chain, np_aliases, npr_aliases
-                ) is not None:
-                    is_rng_call = True
-                if is_rng_call:
-                    yield self.finding(
-                        module,
-                        node,
-                        "random generator created or used at module scope; "
-                        "randomness must be constructed inside a function "
-                        "and threaded as an np.random.Generator parameter",
-                    )
+            for expr in _import_time_exprs(stmt):
+                for node in ast.walk(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    chain = attribute_chain(func)
+                    is_rng_call = False
+                    if isinstance(func, ast.Name) and func.id in _RNG_FACTORIES:
+                        is_rng_call = True
+                    elif chain and _is_np_random_chain(
+                        chain, np_aliases, npr_aliases
+                    ) is not None:
+                        is_rng_call = True
+                    if is_rng_call:
+                        yield self.finding(
+                            module,
+                            node,
+                            "random generator created or used at module "
+                            "scope; randomness must be constructed inside a "
+                            "function and threaded as an np.random.Generator "
+                            "parameter",
+                        )

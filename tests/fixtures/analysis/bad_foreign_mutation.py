@@ -14,3 +14,5 @@ class IntrusiveNode:
         # Shared-memory shortcut: the message-passing model forbids both.
         other.state.l = self.state.id
         other.channel.put(lin(self.state.id))
+        # Tuple-unpacking must not hide the foreign write.
+        self.state.r, other.state.r = other.state.id, self.state.id

@@ -5,6 +5,12 @@ import numpy as np
 RNG = np.random.default_rng(42)
 JITTER = RNG.random()
 
+if np.random.default_rng(1).random() > 0.5:  # compound-statement header
+    FLAG = True
 
-def noisy(x):
-    return x + JITTER
+for _draw in np.random.default_rng(2).integers(0, 9, 3):  # for-loop iterable
+    pass
+
+
+def noisy(x, jitter=np.random.default_rng(3).random()):  # default argument
+    return x + jitter

@@ -14,3 +14,7 @@ class BadSendNode:
         self._send(send, 0.5, lin(nid))   # literal destination
         self._send(send, self.state.r, lin(0.25))  # literal payload
         send(self.state.l, probr(0.875))  # direct send, literal payload
+        self._send(send, self.state.r, self._mk(7))  # laundered via helper
+
+    def _mk(self, nid):
+        return lin(nid)

@@ -61,3 +61,13 @@ class GoodNode:
 
     def respond_ring(self, origin, send):
         self._send(send, origin, resring(self.state.r))
+
+    def audit_neighbors(self, ids):
+        # Mutating a container this method constructed is local scratch
+        # state, not a foreign write into another node.
+        seen = {}
+        for nid in ids:
+            seen[nid] = True
+        order = list()
+        order[:] = sorted(seen)
+        return order

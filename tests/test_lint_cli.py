@@ -31,7 +31,7 @@ def test_json_output_is_machine_readable(capsys):
     rc = main(["--format", "json", str(FIXTURES / "bad_send_literal.py")])
     payload = json.loads(capsys.readouterr().out)
     assert rc == 1
-    assert payload["count"] == len(payload["findings"]) == 3
+    assert payload["count"] == len(payload["findings"]) == 4
     first = payload["findings"][0]
     assert set(first) == {"rule", "severity", "path", "line", "col", "message"}
     assert first["rule"] == "send-literal"
