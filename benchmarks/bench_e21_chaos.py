@@ -1,0 +1,29 @@
+"""E21 — chaos campaigns: loss splits the overlay, guarded handoffs don't."""
+
+from _harness import run_and_report
+
+
+def test_e21_chaos(benchmark):
+    result = run_and_report(
+        benchmark,
+        "e21",
+        n=256,
+        loss_rate=0.2,
+        burst_stop=100,
+        rounds=200,
+        campaign_seeds=(0, 1, 2, 3),
+    )
+    baseline = [r for r in result.rows if r["transport"] == "baseline"]
+    guarded = [r for r in result.rows if r["transport"] == "guarded"]
+    # At least one fixed-seed baseline campaign ends in a permanent
+    # partition — the lossless-channel assumption is load-bearing.
+    assert any(r["outcome"].startswith("SPLIT") for r in baseline)
+    # Every guarded campaign converges, with a recovery time reported by
+    # the monitors and no handoff abandoned.
+    assert all(r["outcome"] == "converged" for r in guarded)
+    assert all(r["time_to_reconverge"] >= 0 for r in guarded)
+    assert all(r["abandoned"] == 0 for r in guarded)
+    # Bounded redundancy: overhead stays within a small multiple of the
+    # protocol traffic.
+    for r in guarded:
+        assert r["overhead_frames"] < 3 * r["messages"]

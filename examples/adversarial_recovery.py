@@ -49,6 +49,7 @@ def transient_fault_demo(n: int, rng) -> None:
     """Scramble a *running* stable network and watch it heal."""
     from repro.graphs.build import stable_ring_states
     from repro.ids import generate_ids
+    from repro.sim.chaos import ChaosCampaign, ConvergenceProbe, FaultPlan, PointerCorruption
 
     states = stable_ring_states(n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng))
     network = build_network(states)
@@ -56,30 +57,27 @@ def transient_fault_demo(n: int, rng) -> None:
     simulator.run(10)
     assert is_sorted_ring(network.states())
 
-    # The adversary strikes: scramble every pointer of half the nodes —
-    # l/r to random (order-respecting) far-away nodes, lrl/ring/age to junk.
-    ids = network.ids
-    for nid in rng.choice(ids, size=len(ids) // 2, replace=False):
-        state = network.node(float(nid)).state
-        smaller = [i for i in ids if i < state.id]
-        larger = [i for i in ids if i > state.id]
-        state.corrupt(
-            l=smaller[int(rng.integers(len(smaller)))] if smaller else None,
-            r=larger[int(rng.integers(len(larger)))] if larger else None,
-            lrl=ids[int(rng.integers(len(ids)))],
-            ring=ids[int(rng.integers(len(ids)))],
-            age=int(rng.integers(0, 1000)),
-        )
-    rounds = simulator.run_until(
-        lambda net: is_sorted_ring(net.states()),
-        max_rounds=100 * n,
-        what="transient-fault recovery",
+    # The adversary strikes, as a scheduled fault campaign: at round 2,
+    # scramble every pointer of half the nodes — l/r to random
+    # (order-respecting) far-away nodes, lrl/ring/age to junk — and let
+    # the convergence monitor report the healing time.
+    plan = FaultPlan(seed=int(rng.integers(2**32))).schedule(
+        PointerCorruption(fraction=0.5), at=2, label="scramble"
+    )
+    campaign = ChaosCampaign(simulator, plan, monitors=(ConvergenceProbe(),))
+    result = campaign.run(100 * n, stop_when_healthy=True)
+    assert result.healthy, "transient-fault recovery failed"
+    burst = result.recovery.bursts[0]
+    healed = (
+        f"healed in {burst.time_to_reconverge + 1} round(s)"
+        if burst.time_to_reconverge is not None
+        else "healed within the faulty round itself"
     )
     print(
         f"\nTransient fault on a live network (n={n}, half the nodes "
-        f"corrupted): healed in {rounds} round(s) - the in-flight lin "
-        f"maintenance traffic from the pre-fault round re-teaches the true "
-        f"neighbors almost immediately."
+        f"corrupted): {healed} - the in-flight lin maintenance traffic "
+        f"from the pre-fault round re-teaches the true neighbors almost "
+        f"immediately."
     )
 
     # Harder variant: *every* node corrupted (so no node still points at

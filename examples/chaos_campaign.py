@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""A full chaos campaign: composed faults, monitors, and the guard.
+
+This is the chaos subsystem end to end (see ``docs/CHAOS.md``):
+
+* a :class:`~repro.sim.chaos.plan.FaultPlan` composing four fault kinds —
+  a message-loss burst, sustained duplication, a delay/reorder window, and
+  a one-shot pointer scramble — over round windows, all replayable from
+  one seed;
+* runtime monitors (connectivity watchdog, partition detector, safety
+  probe, convergence probe) turning the run into time-to-detect and
+  time-to-reconverge numbers per burst;
+* the same campaign twice: over the bare faulty wire, and with the
+  guarded-handoff transport that retransmits connectivity-critical
+  handoffs until acknowledged.
+
+Run:  python examples/chaos_campaign.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_rows
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.sim.chaos import (
+    ChaosCampaign,
+    ChaosNetwork,
+    ConvergenceProbe,
+    FaultPlan,
+    GuardPolicy,
+    MessageDelay,
+    MessageDuplication,
+    MessageLoss,
+    PartitionDetector,
+    PointerCorruption,
+    SafetyProbe,
+    WeakConnectivityWatchdog,
+)
+from repro.sim.engine import Simulator
+from repro.topology.generators import random_tree_topology
+
+
+def build_plan(seed: int, horizon: int) -> FaultPlan:
+    """The example's composed fault schedule (all windows finite)."""
+    burst = max(10, horizon // 4)
+    return (
+        FaultPlan(seed=seed)
+        .schedule(MessageLoss(rate=0.3), start=0, stop=burst, label="loss")
+        .schedule(
+            MessageDuplication(rate=0.2),
+            start=0,
+            stop=horizon,
+            label="duplication",
+        )
+        .schedule(
+            MessageDelay(max_delay=3),
+            start=burst,
+            stop=2 * burst,
+            label="delay",
+        )
+        .schedule(
+            PointerCorruption(fraction=0.25),
+            at=burst // 2,
+            label="scramble",
+        )
+    )
+
+
+def run_campaign(n: int, seed: int, *, guard: bool) -> dict:
+    rng = np.random.default_rng(seed)
+    states = random_tree_topology(n, rng)
+    network = build_network(
+        states,
+        ProtocolConfig(),
+        network_cls=ChaosNetwork,
+        guard=GuardPolicy() if guard else None,
+    )
+    simulator = Simulator(network, rng)
+    horizon = 40
+    campaign = ChaosCampaign(
+        simulator,
+        build_plan(seed, horizon),
+        monitors=(
+            WeakConnectivityWatchdog(),
+            PartitionDetector(),
+            SafetyProbe(),
+            ConvergenceProbe(),
+        ),
+    )
+    result = campaign.run(
+        60 * n + horizon, stop_on_partition=True, stop_when_healthy=True
+    )
+    guard_stats = network.guard.stats if network.guard else None
+    return {
+        "transport": "guarded" if guard else "baseline",
+        "outcome": (
+            f"SPLIT @ round {result.partition_round}"
+            if result.partition_round is not None
+            else ("recovered" if result.healthy else "degraded")
+        ),
+        "rounds": result.rounds,
+        "bursts_detected": result.recovery.detected,
+        "mean_ttd": result.recovery.mean_time_to_detect(),
+        "mean_ttr": result.recovery.mean_time_to_reconverge(),
+        "overhead_frames": (
+            guard_stats.overhead_frames() if guard_stats else 0
+        ),
+        "_trace": result.trace,
+    }
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 17
+
+    rows = []
+    traces = {}
+    for guard in (False, True):
+        row = run_campaign(n, seed, guard=guard)
+        traces[row["transport"]] = row.pop("_trace")
+        rows.append(row)
+    print(
+        format_rows(
+            rows,
+            title=(
+                f"Chaos campaign (n={n}, seed={seed}): loss burst + "
+                f"duplication + delay window + pointer scramble"
+            ),
+        )
+    )
+
+    print("\nGuarded-run campaign trace (deterministic, replayable):")
+    for line in traces["guarded"].to_text().splitlines():
+        print(f"  {line}")
+    print(
+        "\nSame plan, same seed: only the transport differs.  The guard "
+        "retransmits unacknowledged critical handoffs, so a lost message "
+        "costs a retry instead of the network's weak connectivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

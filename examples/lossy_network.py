@@ -12,8 +12,11 @@ what that assumption buys:
   at high loss rates the network demonstrably splits into components that
   can never find each other again.
 
-The sweep reports, per loss rate, whether the run converged, how long it
-took, and — when it did not — how the network ended up partitioned.
+Each loss rate is a :class:`~repro.sim.chaos.plan.FaultPlan` scheduling a
+:class:`~repro.sim.chaos.injectors.MessageLoss` injector over the whole
+run, driven by a :class:`~repro.sim.chaos.campaign.ChaosCampaign` whose
+monitors watch for partitions and convergence — the verdict column is the
+monitors' own judgement, not a timeout guess.
 
 Run:  python examples/lossy_network.py [n] [seed]
 """
@@ -22,16 +25,17 @@ from __future__ import annotations
 
 import sys
 
-import networkx as nx
-import numpy as np
-
 from repro.analysis.tables import format_rows
-from repro.core.node import Node
-from repro.core.protocol import ProtocolConfig
-from repro.graphs.predicates import is_sorted_ring
-from repro.graphs.views import cc_graph
-from repro.sim.engine import Simulator, StabilizationTimeout
-from repro.sim.faults import LossyNetwork
+from repro.core.protocol import ProtocolConfig, build_network
+from repro.sim.chaos import (
+    ChaosCampaign,
+    ChaosNetwork,
+    ConvergenceProbe,
+    FaultPlan,
+    MessageLoss,
+    PartitionDetector,
+)
+from repro.sim.engine import Simulator
 from repro.topology.generators import random_tree_topology
 
 
@@ -40,37 +44,54 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
 
     rows = []
-    for loss in (0.0, 0.1, 0.2, 0.3, 0.5):
+    for loss in (0.0, 0.1, 0.2, 0.3, 0.5, 0.7):
+        import numpy as np
+
         rng = np.random.default_rng(seed)
         states = random_tree_topology(n, rng)
-        config = ProtocolConfig()
-        network = LossyNetwork(
-            (Node(s, config) for s in states), loss_rate=loss, rng=rng
+        network = build_network(
+            states, ProtocolConfig(), network_cls=ChaosNetwork
         )
         simulator = Simulator(network, rng)
-        try:
-            rounds = simulator.run_until(
-                lambda net: is_sorted_ring(net.states()),
-                max_rounds=8_000,
-                what=f"loss={loss}",
-            )
-            outcome = "converged"
-        except StabilizationTimeout:
-            rounds = simulator.round_index
-            components = nx.number_weakly_connected_components(
-                cc_graph(network, live_only=True)
-            )
+
+        plan = FaultPlan(seed=seed)
+        injector = MessageLoss(rate=loss)
+        if loss > 0.0:
+            plan.schedule(injector, start=0, label=f"loss-{loss}")
+        campaign = ChaosCampaign(
+            simulator,
+            plan,
+            monitors=(PartitionDetector(), ConvergenceProbe()),
+        )
+        result = campaign.run(
+            60 * n, stop_on_partition=True, stop_when_healthy=True
+        )
+
+        if result.partition_round is not None:
+            detector = PartitionDetector()
             outcome = (
-                f"SPLIT into {components} components"
-                if components > 1
-                else "still converging"
+                f"SPLIT into {detector.components(network)} components "
+                f"@ round {result.partition_round}"
             )
+        elif result.healthy:
+            healthy = result.trace.of_kind("healthy")
+            ring_round = next(
+                (
+                    e.round_index
+                    for e in healthy
+                    if e.label.startswith("convergence")
+                ),
+                result.rounds,
+            )
+            outcome = f"converged @ round {ring_round}"
+        else:
+            outcome = "still converging"
         rows.append(
             {
                 "loss_rate": loss,
                 "outcome": outcome,
-                "rounds": rounds,
-                "messages_lost": network.lost,
+                "rounds": result.rounds,
+                "messages_lost": injector.dropped,
             }
         )
     print(
@@ -83,7 +104,9 @@ def main() -> None:
         "\nModerate loss only slows stabilization; at high rates a "
         "displaced identifier's only copy eventually rides a lost message "
         "and the network partitions permanently - the lossless channel is "
-        "a load-bearing model assumption, not a convenience."
+        "a load-bearing model assumption, not a convenience.  (See "
+        "examples/chaos_campaign.py for the guarded-handoff transport that "
+        "survives this.)"
     )
 
 

@@ -7,8 +7,8 @@ Four rule families (ISSUE 1):
    ``foreign-mutation``;
 3. **RNG determinism** — ``stdlib-random``, ``legacy-np-random``,
    ``import-time-rng``;
-4. **self-stabilization hygiene** — ``bare-except``, ``silent-except``,
-   ``mutable-default``.
+4. **self-stabilization hygiene** — ``bare-except``, ``broad-except``,
+   ``silent-except``, ``mutable-default``.
 
 ``ALL_RULES`` instantiates one of each; ``RULES_BY_ID`` indexes them for
 the CLI's ``--select``/``--ignore`` filters and the pragma machinery.
@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.analysis.lint.rules.base import Rule
 from repro.analysis.lint.rules.hygiene import (
     BareExceptRule,
+    BroadExceptRule,
     MutableDefaultRule,
     SilentExceptRule,
 )
@@ -46,6 +47,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LegacyNpRandomRule(),
     ImportTimeRngRule(),
     BareExceptRule(),
+    BroadExceptRule(),
     SilentExceptRule(),
     MutableDefaultRule(),
 )

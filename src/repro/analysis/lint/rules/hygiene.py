@@ -18,7 +18,12 @@ from repro.analysis.lint.findings import Finding, Severity
 from repro.analysis.lint.rules.base import Rule
 from repro.analysis.lint.unit import ModuleUnit
 
-__all__ = ["BareExceptRule", "SilentExceptRule", "MutableDefaultRule"]
+__all__ = [
+    "BareExceptRule",
+    "BroadExceptRule",
+    "SilentExceptRule",
+    "MutableDefaultRule",
+]
 
 #: Constructor calls that produce a fresh mutable object per *definition*
 #: (not per call) when used as a default.
@@ -48,11 +53,47 @@ class BareExceptRule(Rule):
                 )
 
 
+class BroadExceptRule(Rule):
+    """``except Exception:`` is nearly as opaque as a bare except."""
+
+    id = "broad-except"
+    severity = Severity.WARNING
+    summary = "'except Exception:'/'except BaseException:' catch-all handler"
+    grounding = (
+        "a catch-all handler converts every programming error into an "
+        "in-model transition; stabilization arguments only tolerate the "
+        "failures the fault model names (crashes, channel loss)"
+    )
+
+    #: Names whose handlers are effectively catch-alls.
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in self._BROAD
+
+    def check(self, module: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            exprs = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            if any(self._is_broad(expr) for expr in exprs):
+                yield self.finding(
+                    module,
+                    node,
+                    "catch-all 'except Exception:' handler; name the "
+                    "exceptions the fault model expects",
+                )
+
+
 class SilentExceptRule(Rule):
     """An except body of only ``pass`` hides a state transition."""
 
     id = "silent-except"
-    severity = Severity.WARNING
+    severity = Severity.ERROR
     summary = "exception swallowed with a pass-only body"
     grounding = (
         "silently ignoring an exception makes the handler a partial "

@@ -45,6 +45,15 @@ _QUICK_OVERRIDES: dict[str, dict[str, object]] = {
     "e18": {"sizes": (16, 32, 64), "trials": 2},
     "e19": {"n": 256, "horizon": 3_000, "queries": 300},
     "e20": {"n": 24, "trials": 1, "topologies": ("random_tree",)},
+    "e21": {
+        "n": 48,
+        # Small networks survive loss 0.2; 0.35 still demonstrably splits
+        # the baseline at this scale (campaign seed 6).
+        "loss_rate": 0.35,
+        "burst_stop": 40,
+        "rounds": 80,
+        "campaign_seeds": (0, 6),
+    },
 }
 
 
@@ -97,7 +106,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id (e01..e20) or 'all'")
+    run_p.add_argument("experiment", help="experiment id (e01..e21) or 'all'")
     run_p.add_argument(
         "params",
         nargs="*",

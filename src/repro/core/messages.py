@@ -41,6 +41,9 @@ from repro.ids import NEG_INF, POS_INF, is_real, require_id
 __all__ = [
     "MessageType",
     "Message",
+    "Envelope",
+    "Ack",
+    "Frame",
     "lin",
     "inclrl",
     "reslrl",
@@ -158,6 +161,69 @@ class Message:
     def __repr__(self) -> str:
         payload = ", ".join(f"{i:.6g}" for i in self.ids)
         return f"Message({self.type}, {payload})"
+
+
+# ----------------------------------------------------------------------
+# Transport frames (beneath the paper's model)
+# ----------------------------------------------------------------------
+# The paper assumes lossless channels (§II-B), so the seven protocol
+# messages above never need acknowledgement.  The chaos subsystem
+# (:mod:`repro.sim.chaos`) deliberately breaks that assumption and adds an
+# opt-in guarded-handoff transport that retransmits connectivity-critical
+# messages until acknowledged.  Envelopes and acks are *transport* frames:
+# they travel on the wire next to plain messages but never enter a node's
+# channel and never reach a protocol handler — the protocol layer stays
+# byte-for-byte the paper's.
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A guarded transmission of one protocol message.
+
+    Attributes
+    ----------
+    origin:
+        Identifier of the sending node — the destination of the matching
+        :class:`Ack`.
+    seq:
+        Transport sequence number, unique per network; the receiver dedups
+        redeliveries by ``(origin, seq)``.
+    dest:
+        The destination the payload is addressed to.
+    payload:
+        The wrapped protocol message.  Its identifiers count as in-flight
+        copies for the connectivity graphs for as long as the envelope is
+        unacknowledged (the retransmit buffer keeps them alive).
+    """
+
+    origin: float
+    seq: int
+    dest: float
+    payload: Message
+
+    def __post_init__(self) -> None:
+        require_id(self.origin, what="envelope origin")
+        require_id(self.dest, what="envelope dest")
+        if self.seq < 0:
+            raise ValueError(f"envelope seq must be non-negative, got {self.seq}")
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Acknowledgement of one :class:`Envelope`, addressed to its origin."""
+
+    origin: float
+    seq: int
+
+    def __post_init__(self) -> None:
+        require_id(self.origin, what="ack origin")
+        if self.seq < 0:
+            raise ValueError(f"ack seq must be non-negative, got {self.seq}")
+
+
+#: Anything the simulated wire can carry: plain protocol messages plus the
+#: guarded-handoff transport frames.
+Frame = Message | Envelope | Ack
 
 
 def lin(node_id: float) -> Message:

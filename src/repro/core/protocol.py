@@ -65,6 +65,8 @@ def build_network(
     *,
     dedup: bool = True,
     keep_history: bool = False,
+    network_cls: "type[Network] | None" = None,
+    **network_kwargs: object,
 ) -> "Network":
     """Assemble a :class:`~repro.sim.network.Network` of protocol nodes.
 
@@ -75,16 +77,22 @@ def build_network(
     config:
         Shared protocol configuration; defaults to the paper's protocol.
     dedup, keep_history:
-        Forwarded to :class:`~repro.sim.network.Network`.
+        Forwarded to the network constructor.
+    network_cls:
+        Alternative network class (e.g.
+        :class:`~repro.sim.chaos.network.ChaosNetwork`); extra keyword
+        arguments are forwarded to it.
     """
     from repro.core.node import Node
     from repro.sim.network import Network
 
     cfg = config or ProtocolConfig()
-    return Network(
+    cls = network_cls if network_cls is not None else Network
+    return cls(
         (Node(state, cfg) for state in states),
         dedup=dedup,
         keep_history=keep_history,
+        **network_kwargs,
     )
 
 

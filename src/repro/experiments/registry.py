@@ -26,6 +26,7 @@ from repro.experiments import (
     e18_message_complexity,
     e19_epsilon,
     e20_schedulers,
+    e21_chaos,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -119,6 +120,11 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "e20",
             "Scheduler independence under adversarial fairness (Sec II-B)",
             e20_schedulers.run,
+        ),
+        ExperimentSpec(
+            "e21",
+            "Chaos campaigns: loss vs guarded handoffs (Sec II-B)",
+            e21_chaos.run,
         ),
     )
 }

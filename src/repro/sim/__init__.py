@@ -16,6 +16,9 @@ discrete-event simulator:
 * :mod:`repro.sim.metrics` — message counters and convergence recorders.
 * :mod:`repro.sim.trace` — optional structured event traces for debugging
   and white-box tests.
+* :mod:`repro.sim.chaos` — fault-injection campaigns, recovery monitors,
+  and the guarded-handoff transport (deliberately *outside* the paper's
+  model; see ``docs/CHAOS.md``).
 """
 
 from repro.sim.channel import Channel

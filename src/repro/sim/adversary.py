@@ -20,10 +20,9 @@ empirical evidence for the paper's model-level claim that only *fairness*
 
 from __future__ import annotations
 
-import zlib
-
 import numpy as np
 
+from repro.sim.chaos.injectors import MessageDelay
 from repro.sim.network import Network
 from repro.sim.schedulers import SynchronousScheduler
 
@@ -31,20 +30,25 @@ __all__ = ["DelayAdversary", "StarvationAdversary"]
 
 
 class DelayAdversary:
-    """Bounded per-message delivery delays with maximal reordering."""
+    """Bounded per-message delivery delays with maximal reordering.
+
+    The content-hash delay scheme is shared with the chaos subsystem:
+    this scheduler delegates to
+    :meth:`repro.sim.chaos.injectors.MessageDelay.delay_for`, so a
+    campaign scheduling ``MessageDelay(mode="hash")`` reorders exactly
+    like this adversary does.
+    """
 
     def __init__(self, *, max_delay: int = 5) -> None:
         if max_delay < 0:
             raise ValueError("max_delay must be non-negative")
         self.max_delay = max_delay
+        self._delayer = MessageDelay(max_delay=max_delay, mode="hash")
         self._held: list[tuple[int, float, object]] = []  # (due, dest, msg)
         self._round = 0
 
     def _delay_for(self, dest: float, message: object) -> int:
-        if self.max_delay == 0:
-            return 0
-        digest = zlib.crc32(repr((dest, message)).encode())
-        return digest % (self.max_delay + 1)
+        return self._delayer.delay_for(dest, message)
 
     def execute_round(self, network: Network, rng: np.random.Generator) -> None:
         # Intercept everything currently staged: hold each message until
@@ -103,7 +107,8 @@ class StarvationAdversary:
             if nid in slow and not active_slow:
                 continue  # starved this round: no receive, no regular action
             node = network.node(nid)
+            send = network.sender(nid)
             for message in network.channel(nid).drain(rng):
-                node.on_message(message, network.send, rng)
-            node.regular_action(network.send, rng)
+                node.on_message(message, send, rng)
+            node.regular_action(send, rng)
         self._round += 1

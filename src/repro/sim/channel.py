@@ -23,7 +23,7 @@ pending messages.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -102,6 +102,21 @@ class Channel:
         by in-flight messages, Definition 4.2).
         """
         return list(self._messages)
+
+    def remove_matching(self, predicate: Callable[[Message], bool]) -> int:
+        """Remove every pending message satisfying *predicate*; return count.
+
+        Used by :meth:`Network.purge_identifier` (churn) and the chaos
+        campaign's pointer-scrub faults: a departed or corrupted identifier
+        must vanish from channels as well as from stored state.
+        """
+        kept = [m for m in self._messages if not predicate(m)]
+        removed = len(self._messages) - len(kept)
+        if removed:
+            self._messages = kept
+            if self._set is not None:
+                self._set = set(kept)
+        return removed
 
     def clear(self) -> None:
         """Discard every pending message (used when a node leaves)."""

@@ -1,0 +1,235 @@
+"""The chaos network: a faulty wire under the paper's channels.
+
+:class:`ChaosNetwork` extends :class:`~repro.sim.network.Network` with a
+*wire* between ``send`` and the destination channels.  Every transmission
+— protocol message, guarded envelope, ack, retransmission — becomes a wire
+frame that the active fault injectors may drop, duplicate, or delay before
+it is enqueued.  The timing contract of the base network is preserved
+exactly: an undisturbed frame sent during round ``t`` is receivable in
+round ``t+1``, so a ``ChaosNetwork`` with no active faults is
+observationally identical to a plain ``Network``.
+
+With a :class:`~repro.sim.chaos.guard.GuardPolicy` installed, messages of
+the connectivity-critical types are wrapped in sequence-numbered envelopes
+and retransmitted with backoff until acknowledged (see
+:mod:`repro.sim.chaos.guard`).  Both envelope and ack frames ride the same
+faulty wire — the guard earns its keep under the exact faults it is meant
+to survive.
+
+The connectivity views (:attr:`in_flight`) count payloads held by the wire
+*and* by the retransmit buffer: an unacknowledged handoff still owns a
+live copy of its identifiers, which is precisely the mechanism that turns
+"loss permanently splits the network" into "loss delays convergence".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.core.messages import Ack, Envelope, Frame, Message
+from repro.sim.chaos.guard import GuardedHandoff, GuardPolicy
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.node import Node
+    from repro.sim.chaos.injectors import FaultInjector
+
+__all__ = ["ChaosNetwork"]
+
+
+class ChaosNetwork(Network):
+    """A network whose wire is subject to composable fault injection."""
+
+    def __init__(
+        self,
+        nodes: Iterable["Node"] = (),
+        *,
+        guard: GuardPolicy | None = None,
+        dedup: bool = True,
+        keep_history: bool = False,
+    ) -> None:
+        super().__init__(nodes, dedup=dedup, keep_history=keep_history)
+        self._wire_faults: list["FaultInjector"] = []
+        #: Frames in transit: ``(due_tick, dest, frame)``, delivery order.
+        self._wire: list[tuple[int, float, Frame]] = []
+        self._tick = 0
+        self._guard: GuardedHandoff | None = (
+            GuardedHandoff(policy=guard) if guard is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-chain management
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """Wire clock: one tick per :meth:`flush` (one round under the
+        synchronous scheduler, one elementary step under the async one)."""
+        return self._tick
+
+    @property
+    def wire_faults(self) -> list["FaultInjector"]:
+        """The currently active wire-fault chain (applied in order)."""
+        return list(self._wire_faults)
+
+    def set_wire_faults(self, injectors: Iterable["FaultInjector"]) -> None:
+        """Install the active wire-fault chain (campaigns call this per
+        round as fault windows open and close)."""
+        self._wire_faults = list(injectors)
+
+    @property
+    def guard(self) -> GuardedHandoff | None:
+        """The guarded-handoff transport, if one is installed."""
+        return self._guard
+
+    # ------------------------------------------------------------------
+    # Sending through the wire
+    # ------------------------------------------------------------------
+    def send(self, dest: float, message: Message) -> None:
+        """Stage *message* via the faulty wire (no sender identity)."""
+        self._dispatch(None, dest, message)
+
+    def send_from(self, origin: float, dest: float, message: Message) -> None:
+        """Stage *message* on behalf of *origin* (enables guarded acks)."""
+        self._dispatch(origin, dest, message)
+
+    def _dispatch(self, origin: float | None, dest: float, message: Message) -> None:
+        self.stats.record_send(message.type)
+        if dest not in self._nodes:
+            # Match the base network: sends to departed identifiers are
+            # dropped at the source, not carried by the wire.
+            self.dropped += 1
+            return
+        if (
+            self._guard is not None
+            and origin is not None
+            and self._guard.wants(message)
+        ):
+            frame: Frame = self._guard.wrap(origin, dest, message, self._tick)
+        else:
+            frame = message
+        self._transmit(dest, frame)
+
+    def _transmit(self, dest: float, frame: Frame) -> None:
+        """Put one frame on the wire, applying the active fault chain."""
+        deliveries: list[tuple[int, float, Frame]] = [(0, dest, frame)]
+        for injector in self._wire_faults:
+            rewritten: list[tuple[int, float, Frame]] = []
+            for extra, dst, frm in deliveries:
+                out = injector.on_wire(dst, frm, self)
+                if out is None:
+                    rewritten.append((extra, dst, frm))
+                else:
+                    rewritten.extend(
+                        (extra + more, dst2, frm2) for more, dst2, frm2 in out
+                    )
+            deliveries = rewritten
+        base_due = self._tick + 1
+        self._wire.extend(
+            (base_due + extra, dst, frm) for extra, dst, frm in deliveries
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Advance the wire clock, deliver due frames, retransmit, then
+        perform the base staging flush."""
+        self._tick += 1
+        due: list[tuple[int, float, Frame]] = []
+        transit: list[tuple[int, float, Frame]] = []
+        for entry in self._wire:
+            (due if entry[0] <= self._tick else transit).append(entry)
+        self._wire = transit
+        for _, dest, frame in due:
+            self._deliver_frame(dest, frame)
+        if self._guard is not None:
+            # After acks were processed: only genuinely unacknowledged
+            # envelopes retransmit.
+            for envelope in self._guard.due_retransmits(self._tick):
+                if envelope.dest in self._nodes:
+                    self._transmit(envelope.dest, envelope)
+        return super().flush()
+
+    def _deliver_frame(self, dest: float, frame: Frame) -> None:
+        if isinstance(frame, Envelope):
+            if self._guard is None or dest not in self._nodes:
+                # No transport installed (defensive) or the destination
+                # departed mid-flight: the payload dies here.
+                self.dropped += 1
+                return
+            fresh, ack = self._guard.on_deliver(frame)
+            if fresh:
+                self._enqueue(dest, frame.payload)
+            self._transmit(frame.origin, ack)
+        elif isinstance(frame, Ack):
+            if self._guard is not None:
+                self._guard.on_ack(frame)
+        else:
+            self._enqueue(dest, frame)
+
+    # ------------------------------------------------------------------
+    # Membership and connectivity accounting
+    # ------------------------------------------------------------------
+    def remove_node(self, node_id: float) -> "Node":
+        """Remove a node; frames in transit to it die with it."""
+        node = super().remove_node(node_id)
+        before = len(self._wire)
+        self._wire = [
+            (due, dest, frame)
+            for due, dest, frame in self._wire
+            if not (dest == node_id and not isinstance(frame, Ack))
+        ]
+        self.dropped += before - len(self._wire)
+        if self._guard is not None:
+            self._guard.drop_for_destination(node_id)
+        return node
+
+    def purge_identifier(self, node_id: float) -> int:
+        """Also purge wire frames and buffered envelopes that mention the
+        departed identifier (clean-departure semantics, paper §IV-G)."""
+        purged = super().purge_identifier(node_id)
+        kept: list[tuple[int, float, Frame]] = []
+        for due, dest, frame in self._wire:
+            payload = frame.payload if isinstance(frame, Envelope) else frame
+            if isinstance(payload, Message) and node_id in payload.ids:
+                purged += 1
+            else:
+                kept.append((due, dest, frame))
+        self._wire = kept
+        if self._guard is not None:
+            purged += self._guard.drop_mentioning(node_id)
+        return purged
+
+    @property
+    def in_flight(self) -> list[tuple[float, Message]]:
+        """Undelivered protocol messages, including wire-held frames and
+        unacknowledged envelopes in the retransmit buffer."""
+        out = super().in_flight
+        seen_seqs: set[int] = set()
+        for _, dest, frame in self._wire:
+            if isinstance(frame, Envelope):
+                out.append((dest, frame.payload))
+                seen_seqs.add(frame.seq)
+            elif isinstance(frame, Message):
+                out.append((dest, frame))
+        if self._guard is not None:
+            for envelope in self._guard.outstanding:
+                if envelope.seq not in seen_seqs:
+                    out.append((envelope.dest, envelope.payload))
+        return out
+
+    def pending_total(self) -> int:
+        """Total undelivered protocol messages (staged + channels + wire)."""
+        wire_payloads = sum(
+            1 for _, _, frame in self._wire if not isinstance(frame, Ack)
+        )
+        return super().pending_total() + wire_payloads
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={len(self)}, "
+            f"pending={self.pending_total()}, wire={len(self._wire)}, "
+            f"faults={len(self._wire_faults)}, "
+            f"guarded={self._guard is not None})"
+        )

@@ -1,0 +1,203 @@
+"""The FaultPlan DSL: seed-deterministic fault campaigns over round windows.
+
+A :class:`FaultPlan` is a declarative schedule of
+:class:`~repro.sim.chaos.injectors.FaultInjector` instances over round
+windows::
+
+    plan = (
+        FaultPlan(seed=42)
+        .schedule(MessageLoss(rate=0.2), start=20, stop=60)       # a burst
+        .schedule(PointerCorruption(fraction=0.3), at=20)         # one-shot
+        .schedule(NodeChurn(join_probability=0.1,
+                            leave_probability=0.1),
+                  start=0, period=5)                              # sustained
+    )
+
+Scheduling binds each injector to a private generator derived from
+``(seed, index, label)``, so the whole campaign is a pure function of the
+plan: identical plans produce byte-identical campaign traces, no matter how
+the protocol consumes the simulator's own generator.  Plans compose with
+:meth:`FaultPlan.compose` (concatenating schedules) and are introspectable
+enough for the campaign driver to open/close windows and pick the active
+wire chain per round.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.chaos.injectors import FaultInjector
+
+__all__ = ["Window", "ScheduledFault", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open round interval ``[start, stop)`` with a firing period.
+
+    ``stop=None`` means "until the campaign ends".  Round hooks fire on
+    rounds ``start, start+period, start+2·period, …`` inside the window;
+    wire hooks are active on every round the window contains.
+    """
+
+    start: int
+    stop: int | None = None
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"window start must be non-negative, got {self.start}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(
+                f"window stop must exceed start, got [{self.start}, {self.stop})"
+            )
+        if self.period < 1:
+            raise ValueError(f"window period must be positive, got {self.period}")
+
+    def contains(self, round_index: int) -> bool:
+        """Whether the window is active at *round_index*."""
+        if round_index < self.start:
+            return False
+        return self.stop is None or round_index < self.stop
+
+    def fires(self, round_index: int) -> bool:
+        """Whether round hooks fire at *round_index*."""
+        return (
+            self.contains(round_index)
+            and (round_index - self.start) % self.period == 0
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One injector bound to one window under one label."""
+
+    injector: FaultInjector
+    window: Window
+    label: str
+
+
+class FaultPlan:
+    """An ordered, composable, seed-deterministic fault schedule."""
+
+    def __init__(self, *, seed: int) -> None:
+        self.seed = seed
+        self._scheduled: list[ScheduledFault] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        injector: FaultInjector,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+        at: int | None = None,
+        period: int = 1,
+        label: str | None = None,
+    ) -> "FaultPlan":
+        """Add *injector* over ``[start, stop)``; returns ``self`` (chain).
+
+        ``at=N`` is shorthand for the one-round window ``[N, N+1)`` —
+        mutually exclusive with ``start``/``stop``.  The injector is bound
+        to a generator derived from the plan seed, its schedule position,
+        and its label.
+        """
+        if at is not None:
+            if start != 0 or stop is not None:
+                raise ValueError("pass either at= or start=/stop=, not both")
+            window = Window(start=at, stop=at + 1, period=period)
+        else:
+            window = Window(start=start, stop=stop, period=period)
+        index = len(self._scheduled)
+        if label is None:
+            label = f"{injector.name.lower()}#{index}"
+        if any(sf.label == label for sf in self._scheduled):
+            raise ValueError(f"duplicate fault label {label!r}")
+        injector.bind(self.derive_rng(index, label))
+        self._scheduled.append(
+            ScheduledFault(injector=injector, window=window, label=label)
+        )
+        return self
+
+    def derive_rng(self, index: int, label: str) -> np.random.Generator:
+        """The deterministic per-fault generator for (plan seed, slot)."""
+        return np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, index, zlib.crc32(label.encode())]
+        )
+
+    def compose(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan running both schedules (this plan's seed; labels of
+        *other* are re-suffixed on clash).  Injector generators are kept as
+        bound — composition never reshuffles existing randomness."""
+        combined = FaultPlan(seed=self.seed)
+        combined._scheduled = list(self._scheduled)
+        taken = {sf.label for sf in combined._scheduled}
+        for sf in other._scheduled:
+            label = sf.label
+            bump = 0
+            while label in taken:
+                bump += 1
+                label = f"{sf.label}~{bump}"
+            taken.add(label)
+            combined._scheduled.append(
+                ScheduledFault(injector=sf.injector, window=sf.window, label=label)
+            )
+        return combined
+
+    # ------------------------------------------------------------------
+    # Introspection (campaign driver API)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ScheduledFault]:
+        return iter(self._scheduled)
+
+    def __len__(self) -> int:
+        return len(self._scheduled)
+
+    def starting(self, round_index: int) -> list[ScheduledFault]:
+        """Faults whose window opens at *round_index*."""
+        return [sf for sf in self._scheduled if sf.window.start == round_index]
+
+    def ending(self, round_index: int) -> list[ScheduledFault]:
+        """Faults whose window closed at the end of round ``round_index-1``
+        (i.e. ``stop == round_index``)."""
+        return [sf for sf in self._scheduled if sf.window.stop == round_index]
+
+    def active_wire_faults(self, round_index: int) -> list[FaultInjector]:
+        """Wire-interposing injectors active at *round_index*, in order."""
+        return [
+            sf.injector
+            for sf in self._scheduled
+            if sf.window.contains(round_index)
+            and type(sf.injector).overrides_wire()
+        ]
+
+    def firing(self, round_index: int) -> list[ScheduledFault]:
+        """Round-hook faults that fire at *round_index*, in order."""
+        return [
+            sf
+            for sf in self._scheduled
+            if sf.window.fires(round_index) and type(sf.injector).overrides_round()
+        ]
+
+    def horizon(self) -> int | None:
+        """The last round any window covers (``None`` if open-ended)."""
+        latest = 0
+        for sf in self._scheduled:
+            if sf.window.stop is None:
+                return None
+            latest = max(latest, sf.window.stop)
+        return latest
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{sf.label}@[{sf.window.start},"
+            f"{'∞' if sf.window.stop is None else sf.window.stop})"
+            for sf in self._scheduled
+        )
+        return f"FaultPlan(seed={self.seed}, [{parts}])"

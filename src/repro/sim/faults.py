@@ -35,18 +35,25 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.messages import Message
 from repro.ids import NEG_INF, POS_INF
+from repro.sim.chaos.injectors import MessageLoss
+from repro.sim.chaos.network import ChaosNetwork
 from repro.sim.network import Network
 
 __all__ = ["LossyNetwork", "corrupt_random_pointers", "crash_restart"]
 
 
-class LossyNetwork(Network):
+class LossyNetwork(ChaosNetwork):
     """A network whose sends are dropped i.i.d. with ``loss_rate``.
 
     Violates the paper's lossless-channel assumption on purpose.  Losses
     are counted in :attr:`lost`.
+
+    This is now a thin compatibility shim over the chaos machinery: a
+    :class:`~repro.sim.chaos.network.ChaosNetwork` with one permanently
+    installed :class:`~repro.sim.chaos.injectors.MessageLoss` injector
+    bound to the caller's generator (one uniform draw per send, in send
+    order — the pinned-seed tests rely on that stream staying put).
     """
 
     def __init__(
@@ -60,17 +67,19 @@ class LossyNetwork(Network):
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError("loss_rate must be in [0, 1)")
         super().__init__(nodes, dedup=dedup)
-        self.loss_rate = loss_rate
-        self._loss_rng = rng
-        #: Messages destroyed by the fault (not counted in ``dropped``).
-        self.lost = 0
+        self._loss = MessageLoss(rate=loss_rate)
+        self._loss.bind(rng)
+        self.set_wire_faults([self._loss])
 
-    def send(self, dest: float, message: Message) -> None:
-        if self._loss_rng.random() < self.loss_rate:
-            self.stats.record_send(message.type)
-            self.lost += 1
-            return
-        super().send(dest, message)
+    @property
+    def loss_rate(self) -> float:
+        """The per-send drop probability."""
+        return self._loss.rate
+
+    @property
+    def lost(self) -> int:
+        """Messages destroyed by the fault (not counted in ``dropped``)."""
+        return self._loss.dropped
 
 
 def corrupt_random_pointers(

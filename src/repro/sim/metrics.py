@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.messages import MessageType
 
-__all__ = ["MessageStats", "ConvergenceRecorder"]
+__all__ = ["MessageStats", "ConvergenceRecorder", "BurstRecord", "RecoveryStats"]
 
 
 class MessageStats:
@@ -103,3 +103,77 @@ class ConvergenceRecorder:
     def round_of(self, name: str) -> int | None:
         """First round at which *name* held, or ``None``."""
         return self.first_round.get(name)
+
+
+@dataclass
+class BurstRecord:
+    """Detection/recovery bookkeeping for one scheduled fault burst.
+
+    The chaos campaign (:mod:`repro.sim.chaos`) opens one record per
+    scheduled fault window and fills in, from its runtime monitors,
+
+    * ``detect_round`` — the first round at or after ``start`` at which any
+      monitor reported unhealthy (time-to-detect);
+    * ``reconverge_round`` — the first round at or after the window's end at
+      which *every* monitor was healthy again (time-to-reconverge).
+
+    Both stay ``None`` when the event never happened — a burst the network
+    shrugged off without any monitor noticing has no detection, and a burst
+    it never healed from has no reconvergence.
+    """
+
+    label: str
+    start: int
+    stop: int | None
+
+    detect_round: int | None = None
+    reconverge_round: int | None = None
+
+    @property
+    def time_to_detect(self) -> int | None:
+        """Rounds from burst start to first monitor violation."""
+        if self.detect_round is None:
+            return None
+        return self.detect_round - self.start
+
+    @property
+    def time_to_reconverge(self) -> int | None:
+        """Rounds from burst end to all-monitors-healthy."""
+        if self.reconverge_round is None or self.stop is None:
+            return None
+        return self.reconverge_round - self.stop
+
+
+@dataclass
+class RecoveryStats:
+    """Aggregate view over the :class:`BurstRecord` set of one campaign."""
+
+    bursts: list[BurstRecord] = field(default_factory=list)
+
+    def open_burst(self, label: str, start: int, stop: int | None) -> BurstRecord:
+        """Create, register, and return a new burst record."""
+        record = BurstRecord(label=label, start=start, stop=stop)
+        self.bursts.append(record)
+        return record
+
+    @property
+    def detected(self) -> int:
+        """Number of bursts some monitor noticed."""
+        return sum(1 for b in self.bursts if b.detect_round is not None)
+
+    @property
+    def reconverged(self) -> int:
+        """Number of bursts the network fully healed from."""
+        return sum(1 for b in self.bursts if b.reconverge_round is not None)
+
+    def mean_time_to_detect(self) -> float | None:
+        """Mean time-to-detect over detected bursts (``None`` if none)."""
+        times = [b.time_to_detect for b in self.bursts]
+        real = [t for t in times if t is not None]
+        return sum(real) / len(real) if real else None
+
+    def mean_time_to_reconverge(self) -> float | None:
+        """Mean time-to-reconverge over healed bursts (``None`` if none)."""
+        times = [b.time_to_reconverge for b in self.bursts]
+        real = [t for t in times if t is not None]
+        return sum(real) / len(real) if real else None

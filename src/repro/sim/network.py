@@ -16,7 +16,8 @@ disappear".
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from functools import partial
 from typing import TYPE_CHECKING
 
 from repro.core.messages import Message
@@ -29,6 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.state import NodeState
 
 __all__ = ["Network"]
+
+#: The send callback handed to protocol handlers: ``send(dest, message)``.
+SendFn = Callable[[float, Message], None]
 
 
 class Network:
@@ -43,6 +47,7 @@ class Network:
     ) -> None:
         self._nodes: dict[float, "Node"] = {}
         self._channels: dict[float, Channel] = {}
+        self._senders: dict[float, SendFn] = {}
         self._staging: list[tuple[float, Message]] = []
         self._dedup = dedup
         self.stats = MessageStats(keep_history=keep_history)
@@ -112,6 +117,35 @@ class Network:
         churn the drop models the disappearance of the departed node.
         """
         self.stats.record_send(message.type)
+        self._enqueue(dest, message)
+
+    def send_from(self, origin: float, dest: float, message: Message) -> None:
+        """Stage *message* on behalf of the node *origin*.
+
+        The base network ignores the origin — the paper's channels carry no
+        sender field.  Transport-layer subclasses (the guarded-handoff
+        channel of :mod:`repro.sim.chaos`) use it to route acknowledgements
+        back to the sender.
+        """
+        self.send(dest, message)
+
+    def sender(self, origin: float) -> SendFn:
+        """A send callback bound to *origin* (cached per node).
+
+        Schedulers pass this to protocol handlers so transports that need a
+        sender identity get one without changing the handler signature.
+        """
+        try:
+            return self._senders[origin]
+        except KeyError:
+            bound: SendFn = partial(self.send_from, origin)
+            self._senders[origin] = bound
+            return bound
+
+    def _enqueue(self, dest: float, message: Message) -> None:
+        """Place *message* in staging (or count it dropped), without
+        touching the send counters — the transport-layer hook subclasses
+        override to interpose on the wire."""
         if dest in self._nodes:
             self._staging.append((dest, message))
         else:
@@ -154,14 +188,7 @@ class Network:
                 kept.append((dest, message))
         self._staging = kept
         for channel in self._channels.values():
-            pending = channel.peek_all()
-            doomed = [m for m in pending if node_id in m.ids]
-            if doomed:
-                purged += len(doomed)
-                channel.clear()
-                for m in pending:
-                    if node_id not in m.ids:
-                        channel.put(m)
+            purged += channel.remove_matching(lambda m: node_id in m.ids)
         return purged
 
     @property

@@ -11,9 +11,12 @@ the predicate flipped?"), and exact replay of initial configurations via
 from __future__ import annotations
 
 import json
-from typing import IO
+from typing import IO, TYPE_CHECKING
 
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.core.state import NodeState
 from repro.topology.serialization import states_from_json, states_to_json
 
 __all__ = ["RunRecorder", "load_transcript"]
@@ -58,7 +61,7 @@ class RunRecorder:
                 executed += 1
             self.snapshot()
 
-    def states_at(self, index: int):
+    def states_at(self, index: int) -> "list[NodeState]":
         """Reconstruct :class:`NodeState` objects from snapshot *index*."""
         entry = self.snapshots[index]
         return states_from_json(json.dumps(entry["states"]))

@@ -64,12 +64,12 @@ class SynchronousScheduler:
         if not ids:
             return
         order = rng.permutation(len(ids))
-        send = network.send
         for i in order:
             nid = ids[i]
             if nid not in network:
                 continue  # removed mid-round by a churn hook
             node = network.node(nid)
+            send = network.sender(nid)
             for message in network.channel(nid).drain(rng):
                 node.on_message(message, send, rng)
             if self.regular_actions:
@@ -122,8 +122,9 @@ class AsyncScheduler:
         nid = ids[int(rng.integers(len(ids)))]
         node = network.node(nid)
         channel = network.channel(nid)
+        send = network.sender(nid)
         if channel and rng.random() < self.receive_probability:
             message = channel.pop_random(rng)
-            node.on_message(message, network.send, rng)
+            node.on_message(message, send, rng)
         else:
-            node.regular_action(network.send, rng)
+            node.regular_action(send, rng)

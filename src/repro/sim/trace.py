@@ -25,6 +25,8 @@ class TraceKind(enum.Enum):
     RECEIVE = "receive"
     FORGET = "forget"
     MOVE = "move"
+    #: An injected fault hit this node (chaos campaigns; outside the model).
+    FAULT = "fault"
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,12 +45,16 @@ class TraceEvent:
         For sends, the destination id; for receives ``None`` (the channel
         model has no sender field — messages carry ids in their payload
         only, exactly as in the paper).
+    detail:
+        Free-form annotation; used by fault events to name the injector
+        that struck (``None`` for ordinary protocol events).
     """
 
     kind: TraceKind
     node: float
     message: Message | None = None
     peer: float | None = None
+    detail: str | None = None
 
 
 class Trace:
@@ -90,6 +96,14 @@ class Trace:
             if e.kind is TraceKind.RECEIVE
             and (node is None or e.node == node)
             and (mtype is None or (e.message is not None and e.message.type is mtype))
+        ]
+
+    def faults(self, *, node: float | None = None) -> list[TraceEvent]:
+        """Return injected-fault events (chaos campaigns)."""
+        return [
+            e
+            for e in self.events
+            if e.kind is TraceKind.FAULT and (node is None or e.node == node)
         ]
 
     def forgets(self, *, node: float | None = None) -> list[TraceEvent]:

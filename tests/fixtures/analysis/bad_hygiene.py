@@ -13,3 +13,10 @@ def quiet_probe(node):
         node.probe()
     except ValueError:
         pass
+
+
+def absorb_everything(node):
+    try:
+        node.act()
+    except Exception:
+        node.log("ignored")

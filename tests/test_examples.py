@@ -37,6 +37,7 @@ def run_example(name: str, *args: str, timeout: int = 240) -> str:
         ("harmonic_emergence.py", ("128", "1"), "harmonic reference"),
         ("watch_stabilization.py", ("32", "1"), "sorted ring reached"),
         ("lossy_network.py", ("16", "3"), "Message loss sweep"),
+        ("chaos_campaign.py", ("24", "3"), "campaign trace"),
     ],
 )
 def test_example_runs(name, args, expect):

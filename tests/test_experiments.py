@@ -16,9 +16,9 @@ from repro.experiments.common import ExperimentResult, seed_rng
 
 
 class TestRegistry:
-    def test_all_twenty_present(self):
-        assert len(EXPERIMENTS) == 20
-        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 21)]
+    def test_all_present(self):
+        assert len(EXPERIMENTS) == 21
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 22)]
 
     def test_lookup(self):
         assert get_experiment("e03").id == "e03"
@@ -160,6 +160,22 @@ class TestDrivers:
         )
         assert len(res.rows) == 2
         assert all(r["rounds_mean"] >= 1 for r in res.rows)
+
+    def test_e21(self):
+        # loss 0.35: at n=48 the 0.2 default never splits, 0.35 does
+        # (campaign seed 6) while both guarded runs still converge.
+        res = get_experiment("e21").run(
+            n=48, loss_rate=0.35, burst_stop=40, rounds=80, campaign_seeds=(0, 6)
+        )
+        assert len(res.rows) == 4  # 2 seeds x {baseline, guarded}
+        guarded = [r for r in res.rows if r["transport"] == "guarded"]
+        assert all(r["outcome"] == "converged" for r in guarded)
+        assert all(r["abandoned"] == 0 for r in guarded)
+        assert any(
+            r["outcome"].startswith("SPLIT")
+            for r in res.rows
+            if r["transport"] == "baseline"
+        )
 
 
 class TestResultRendering:

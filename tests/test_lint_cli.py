@@ -57,7 +57,7 @@ def test_ignore_drops_named_rules(capsys):
     rc = main(
         [
             "--ignore",
-            "bare-except,silent-except,mutable-default",
+            "bare-except,broad-except,silent-except,mutable-default",
             str(FIXTURES / "bad_hygiene.py"),
         ]
     )
@@ -66,9 +66,11 @@ def test_ignore_drops_named_rules(capsys):
 
 
 def test_strict_promotes_warnings(capsys):
+    # broad-except is the catalogue's advisory rule (silent-except was
+    # ratcheted to error); --strict promotes its warning to a failure.
     args = [
         "--select",
-        "silent-except",
+        "broad-except",
         str(FIXTURES / "bad_hygiene.py"),
     ]
     assert main(args) == 0
@@ -104,6 +106,7 @@ def test_list_rules_prints_catalogue(capsys):
         "legacy-np-random",
         "import-time-rng",
         "bare-except",
+        "broad-except",
         "silent-except",
         "mutable-default",
     ):

@@ -111,12 +111,23 @@ def test_import_time_rng_fires_at_module_scope_only():
 
 def test_hygiene_rules_fire():
     findings = lint_fixture("bad_hygiene.py")
-    assert fired(findings) == {"bare-except", "silent-except", "mutable-default"}
+    assert fired(findings) == {
+        "bare-except",
+        "broad-except",
+        "silent-except",
+        "mutable-default",
+    }
     by_rule = {f.rule: f for f in findings}
     assert by_rule["bare-except"].severity is Severity.ERROR
-    assert by_rule["silent-except"].severity is Severity.WARNING
-    # Two silent excepts: the bare one and the ValueError one.
+    # Ratcheted (ISSUE 2): silent-except is now an error; broad-except is
+    # the catalogue's advisory rule.
+    assert by_rule["silent-except"].severity is Severity.ERROR
+    assert by_rule["broad-except"].severity is Severity.WARNING
+    # Two silent excepts: the bare one and the ValueError one.  The
+    # 'except Exception' handler has a real body, so only broad-except
+    # fires there.
     assert sum(1 for f in findings if f.rule == "silent-except") == 2
+    assert sum(1 for f in findings if f.rule == "broad-except") == 1
 
 
 # ----------------------------------------------------------------------

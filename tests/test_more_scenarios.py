@@ -93,7 +93,7 @@ class TestChurnScenarios:
     def test_concurrent_joins(self):
         net, sim, rng = stable_sim(n=16, seed=47)
         ids = net.ids
-        for k in range(4):
+        for _k in range(4):
             new_id = float(rng.random())
             while new_id in net:
                 new_id = float(rng.random())

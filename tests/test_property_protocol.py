@@ -97,7 +97,7 @@ def test_regular_action_preserves_invariants(state, seed):
     out = Collector()
     node.regular_action(out, np.random.default_rng(seed))
     check_model_invariants(node.state)
-    for dest, m in out.sent:
+    for dest, _m in out.sent:
         assert 0.0 <= dest < 1.0
 
 
