@@ -1,0 +1,137 @@
+"""Seconds-scale perf-regression smoke: batched engine vs reference.
+
+Runs the identical cold-convergence workload (shuffled line, fixed seed)
+on both engines and gates on the *ratio* ``fast_seconds / ref_seconds`` —
+a machine-independent number, unlike absolute wall clock.  The recorded
+baseline lives in ``benchmarks/perf_baseline.json``; the gate fails when
+the measured ratio regresses more than 25% past the baseline (the fast
+engine getting slower relative to the reference), and prints-but-passes
+when it improves enough that the baseline should be re-recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --record   # new baseline
+
+CI runs the gate on every push (docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+BASELINE = pathlib.Path(__file__).parent / "perf_baseline.json"
+
+#: The workload: small enough for seconds-scale CI, large enough that the
+#: batched engine's per-round overhead is amortized (at n below ~256 the
+#: two engines tie and the ratio is noise).
+N = 768
+SEED = 2024
+REPEATS = 3
+SLACK = 1.25
+
+
+def _workload_states():
+    from repro.topology.generators import TOPOLOGIES
+
+    return TOPOLOGIES["line"](N, np.random.default_rng(SEED))
+
+
+def _time_reference(states) -> float:
+    from repro.core.protocol import ProtocolConfig, build_network
+    from repro.graphs.predicates import is_sorted_ring
+    from repro.sim.engine import Simulator
+
+    net = build_network([s.copy() for s in states], ProtocolConfig())
+    sim = Simulator(net, rng=np.random.default_rng(SEED))
+    start = time.perf_counter()
+    sim.run_until(
+        lambda network: is_sorted_ring(network.states()),
+        max_rounds=60 * N,
+        check_every=8,
+    )
+    return time.perf_counter() - start
+
+
+def _time_fast(states) -> float:
+    from repro.core.protocol import ProtocolConfig
+    from repro.sim.fast import FastSimulator, fast_is_sorted_ring
+
+    sim = FastSimulator.from_states(
+        [s.copy() for s in states],
+        ProtocolConfig(),
+        rng=np.random.default_rng(SEED),
+    )
+    start = time.perf_counter()
+    sim.run_until(fast_is_sorted_ring, max_rounds=60 * N, check_every=8)
+    return time.perf_counter() - start
+
+
+def measure() -> dict[str, float]:
+    """Best-of-``REPEATS`` timings for both engines on the shared workload."""
+    states = _workload_states()
+    ref = min(_time_reference(states) for _ in range(REPEATS))
+    fast = min(_time_fast(states) for _ in range(REPEATS))
+    return {
+        "ref_seconds": round(ref, 4),
+        "fast_seconds": round(fast, 4),
+        "ratio": round(fast / ref, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="write the measured ratio as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure()
+    print(
+        f"perf-smoke: n={N} reference={result['ref_seconds']}s "
+        f"fast={result['fast_seconds']}s ratio={result['ratio']}"
+    )
+
+    if args.record:
+        BASELINE.write_text(
+            json.dumps({"workload": {"n": N, "seed": SEED}, **result}, indent=2)
+            + "\n"
+        )
+        print(f"perf-smoke: baseline recorded to {BASELINE}")
+        return 0
+
+    if not BASELINE.exists():
+        print("perf-smoke: no baseline recorded; run with --record first")
+        return 2
+    baseline = json.loads(BASELINE.read_text())
+    limit = baseline["ratio"] * SLACK
+    verdict = "OK" if result["ratio"] <= limit else "REGRESSION"
+    print(
+        f"perf-smoke: baseline ratio={baseline['ratio']} "
+        f"limit={limit:.4f} -> {verdict}"
+    )
+    if verdict == "REGRESSION":
+        print(
+            "perf-smoke: the batched engine slowed down more than "
+            f"{int((SLACK - 1) * 100)}% relative to the reference engine; "
+            "investigate before merging (or re-record a justified baseline)"
+        )
+        return 1
+    if result["ratio"] < baseline["ratio"] / SLACK:
+        print(
+            "perf-smoke: ratio improved well past the baseline — consider "
+            "re-recording with --record"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

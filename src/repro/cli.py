@@ -54,6 +54,9 @@ _QUICK_OVERRIDES: dict[str, dict[str, object]] = {
         "rounds": 80,
         "campaign_seeds": (0, 6),
     },
+    # Tiny sizes exercise the full batched-engine path; the speedup claim
+    # itself only holds at real sizes (the bench runs those).
+    "e22": {"sizes": (96, 192), "queries": 100, "reference_max_n": 192},
 }
 
 

@@ -23,9 +23,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections.abc import Mapping
+
 from repro.ids import NEG_INF, POS_INF, is_real, require_id
 
-__all__ = ["NodeState"]
+__all__ = ["NodeState", "StateTuple", "snapshot_states"]
+
+#: Canonical per-node snapshot: ``(id, l, r, lrl, ring, age)`` with plain
+#: Python scalars (``ring`` is ``None`` when unset).  This is the exchange
+#: format of the differential-equivalence harness: the reference engine and
+#: :mod:`repro.sim.fast` both export it, and bit-identical tuples are what
+#: "mirror-RNG equivalence" means (docs/PERF.md).
+StateTuple = tuple[float, float, float, float, float | None, int]
 
 
 @dataclass(slots=True)
@@ -160,6 +169,18 @@ class NodeState:
                 raise ValueError("age must be non-negative")
             self.age = age
 
+    def as_tuple(self) -> StateTuple:
+        """Export this state as the canonical :data:`StateTuple` snapshot."""
+        ring = None if self.ring is None else float(self.ring)
+        return (
+            float(self.id),
+            float(self.l),
+            float(self.r),
+            float(self.lrl),
+            ring,
+            int(self.age),
+        )
+
     def copy(self) -> "NodeState":
         """Return an independent copy of this state."""
         return NodeState(
@@ -172,3 +193,13 @@ class NodeState:
             f"NodeState(id={self.id:.6g}, l={self.l:.6g}, r={self.r:.6g}, "
             f"lrl={self.lrl:.6g}, ring={ring}, age={self.age})"
         )
+
+
+def snapshot_states(states: Mapping[float, "NodeState"]) -> dict[float, StateTuple]:
+    """Snapshot a ``{id: NodeState}`` mapping as canonical tuples.
+
+    Used by the differential tests to compare a reference
+    :class:`~repro.sim.network.Network` against a fast engine without any
+    tolerance: two engines agree iff the returned dicts are equal.
+    """
+    return {nid: state.as_tuple() for nid, state in states.items()}

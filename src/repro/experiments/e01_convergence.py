@@ -44,8 +44,16 @@ def run(
     seed: int = 1,
     max_rounds_factor: int = 60,
     epsilon: float | None = None,
+    engine: str = "reference",
 ) -> ExperimentResult:
-    """Run the convergence sweep; one row per (topology, n)."""
+    """Run the convergence sweep; one row per (topology, n).
+
+    ``engine="fast"`` opts into the batched struct-of-arrays engine
+    (:mod:`repro.sim.fast`, docs/PERF.md) — same phases, same seeds per
+    trial, orders of magnitude faster at large ``sizes``.
+    """
+    if engine not in ("reference", "fast"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'reference' or 'fast'")
     result = ExperimentResult(
         experiment="e01",
         title="Self-stabilization to the sorted ring from weakly connected states",
@@ -56,6 +64,7 @@ def run(
             "topologies": topologies,
             "trials": trials,
             "seed": seed,
+            "engine": engine,
         },
     )
     config = ProtocolConfig(epsilon=epsilon) if epsilon else ProtocolConfig()
@@ -71,15 +80,26 @@ def run(
             for t in range(trials):
                 rng = seed_rng(seed, name, n, t)
                 states = factory(n, rng)
-                net = build_network(states, config)
-                sim = Simulator(net, rng)
+                if engine == "fast":
+                    from repro.sim.fast import FastSimulator, fast_phase_predicates
+
+                    sim: Simulator | FastSimulator = FastSimulator.from_states(
+                        states, config, rng=rng
+                    )
+                    preds = fast_phase_predicates(include_phase4=False)
+                    stats = sim.engine.stats
+                else:
+                    net = build_network(states, config)
+                    sim = Simulator(net, rng)
+                    preds = phase_predicates(include_phase4=False)
+                    stats = net.stats
                 rec = sim.run_phases(
-                    phase_predicates(include_phase4=False),
+                    preds,
                     max_rounds=max_rounds_factor * n,
                 )
                 for phase in phase_rounds:
                     phase_rounds[phase].append(rec.round_of(phase) or 0)
-                messages.append(net.stats.total)
+                messages.append(stats.total)
             ring = summarize(np.array(phase_rounds[PHASE_SORTED_RING]))
             result.rows.append(
                 {

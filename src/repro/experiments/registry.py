@@ -27,6 +27,7 @@ from repro.experiments import (
     e19_epsilon,
     e20_schedulers,
     e21_chaos,
+    e22_scale,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -125,6 +126,11 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "e21",
             "Chaos campaigns: loss vs guarded handoffs (Sec II-B)",
             e21_chaos.run,
+        ),
+        ExperimentSpec(
+            "e22",
+            "Production-scale convergence and routing (batched engine)",
+            e22_scale.run,
         ),
     )
 }

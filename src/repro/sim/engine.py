@@ -10,11 +10,18 @@ run-until-predicate loops that every experiment builds on:
   the state, not quiescence);
 * :meth:`Simulator.run_phases` — records the first round at which each of a
   set of named phase predicates holds (experiment E1).
+
+The loops themselves live in :class:`BaseSimulator`, generic over the
+*predicate target* — the object handed to every predicate.  The reference
+:class:`Simulator` hands predicates its :class:`~repro.sim.network.Network`;
+the batched engine (:class:`repro.sim.fast.FastSimulator`) hands them
+itself, so the same drivers serve both engines (docs/PERF.md).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
+from typing import Generic, TypeVar
 
 import numpy as np
 
@@ -22,9 +29,12 @@ from repro.sim.metrics import ConvergenceRecorder
 from repro.sim.network import Network
 from repro.sim.schedulers import Scheduler, SynchronousScheduler
 
-__all__ = ["Simulator", "StabilizationTimeout"]
+__all__ = ["BaseSimulator", "Simulator", "StabilizationTimeout"]
 
 Predicate = Callable[[Network], bool]
+
+#: The predicate-target type of a concrete driver.
+TargetT = TypeVar("TargetT")
 
 
 class StabilizationTimeout(RuntimeError):
@@ -36,40 +46,31 @@ class StabilizationTimeout(RuntimeError):
         self.what = what
 
 
-class Simulator:
-    """Drives a network forward under a scheduler.
+class BaseSimulator(Generic[TargetT]):
+    """Round-loop driver shared by the reference and batched engines.
 
-    Parameters
-    ----------
-    network:
-        The network to simulate.
-    rng:
-        Randomness source (channel permutation order, scheduler choices, and
-        the protocol's own coin flips all draw from it).
-    scheduler:
-        Defaults to the synchronous-round scheduler used for measurements.
+    Subclasses implement :meth:`step_round` (advance one round) and
+    :attr:`predicate_target` (the object predicates are evaluated on).
+    Everything else — fixed-round runs, run-until-predicate with a round
+    budget, and the phase recorder of experiment E1 — is engine-agnostic.
     """
 
-    def __init__(
-        self,
-        network: Network,
-        rng: np.random.Generator | int | None = None,
-        scheduler: Scheduler | None = None,
-    ) -> None:
-        self.network = network
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
         if isinstance(rng, np.random.Generator):
             self.rng = rng
         else:
             self.rng = np.random.default_rng(rng)
-        self.scheduler: Scheduler = scheduler or SynchronousScheduler()
         #: Number of completed rounds.
         self.round_index = 0
 
+    @property
+    def predicate_target(self) -> TargetT:
+        """The object handed to every predicate (engine-specific)."""
+        raise NotImplementedError
+
     def step_round(self) -> None:
-        """Execute exactly one round."""
-        self.scheduler.execute_round(self.network, self.rng)
-        self.network.stats.end_round()
-        self.round_index += 1
+        """Execute exactly one round (engine-specific)."""
+        raise NotImplementedError
 
     def run(self, rounds: int) -> None:
         """Execute a fixed number of rounds."""
@@ -80,13 +81,13 @@ class Simulator:
 
     def run_until(
         self,
-        predicate: Predicate,
+        predicate: Callable[[TargetT], bool],
         *,
         max_rounds: int,
         check_every: int = 1,
         what: str = "predicate",
     ) -> int:
-        """Run until *predicate(network)* holds; return the rounds taken.
+        """Run until *predicate(target)* holds; return the rounds taken.
 
         The predicate is evaluated before the first round (an already-stable
         network reports 0) and then every ``check_every`` rounds.
@@ -101,20 +102,20 @@ class Simulator:
         if check_every < 1:
             raise ValueError("check_every must be positive")
         start = self.round_index
-        if predicate(self.network):
+        if predicate(self.predicate_target):
             return 0
         while self.round_index - start < max_rounds:
             for _ in range(check_every):
                 if self.round_index - start >= max_rounds:
                     break
                 self.step_round()
-            if predicate(self.network):
+            if predicate(self.predicate_target):
                 return self.round_index - start
         raise StabilizationTimeout(max_rounds, what)
 
     def run_phases(
         self,
-        phases: Mapping[str, Predicate],
+        phases: Mapping[str, Callable[[TargetT], bool]],
         *,
         max_rounds: int,
         check_every: int = 1,
@@ -138,7 +139,9 @@ class Simulator:
 
         def observe_all() -> bool:
             for name, predicate in phases.items():
-                recorder.observe(name, predicate(self.network), self.round_index)
+                recorder.observe(
+                    name, predicate(self.predicate_target), self.round_index
+                )
             return all(recorder.converged(name) for name in phases)
 
         start = self.round_index
@@ -156,3 +159,39 @@ class Simulator:
             self.step_round()
             observe_all()
         return recorder
+
+
+class Simulator(BaseSimulator[Network]):
+    """Drives a network forward under a scheduler.
+
+    Parameters
+    ----------
+    network:
+        The network to simulate.
+    rng:
+        Randomness source (channel permutation order, scheduler choices, and
+        the protocol's own coin flips all draw from it).
+    scheduler:
+        Defaults to the synchronous-round scheduler used for measurements.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: np.random.Generator | int | None = None,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        super().__init__(rng)
+        self.network = network
+        self.scheduler: Scheduler = scheduler or SynchronousScheduler()
+
+    @property
+    def predicate_target(self) -> Network:
+        """Predicates over the reference engine see the live network."""
+        return self.network
+
+    def step_round(self) -> None:
+        """Execute exactly one round."""
+        self.scheduler.execute_round(self.network, self.rng)
+        self.network.stats.end_round()
+        self.round_index += 1

@@ -1,0 +1,214 @@
+"""The batched synchronous-round engine.
+
+:class:`FastEngine` plays the combined role of ``Network`` +
+``SynchronousScheduler`` for the struct-of-arrays representation: it owns
+the node state (:class:`~repro.sim.fast.soa.SoAState`), the staged messages
+(:class:`~repro.sim.fast.buffers.Outbox`), and the per-round execution.
+
+One round (the batched counterpart of
+``SynchronousScheduler.execute_round``):
+
+1. **flush** — last round's outbox becomes this round's inbox: unresolvable
+   destinations dropped (and counted), optional dedup, random delivery
+   keys, wave ranks (:func:`~repro.sim.fast.buffers.build_inbox`);
+2. **receive** — waves are dispatched in ascending rank; within a wave each
+   destination holds at most one message, so every handler call is a
+   conflict-free vectorized kernel (:class:`~repro.sim.fast.kernels.Kernels`);
+3. **regular actions** — one batched ``sendid(); probing()`` over all live
+   nodes.
+
+Equivalence to the reference engine is *distributional*, not draw-for-draw:
+within a synchronous round all sends are staged for the next round, so
+nodes do not interact mid-round and any per-node delivery order produced by
+uniform keys is reachable by the reference scheduler's permutations with
+equal probability.  The bit-exact twin is
+:class:`~repro.sim.fast.mirror.MirrorEngine`; the differential tests pin
+both (docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState, StateTuple
+from repro.ids import require_id
+from repro.sim.fast.buffers import (
+    INCLRL,
+    LIN,
+    PROBL,
+    PROBR,
+    RESLRL,
+    RESRING,
+    RING,
+    Outbox,
+    build_inbox,
+)
+from repro.sim.fast.kernels import Kernels
+from repro.sim.fast.soa import SoAState
+from repro.sim.metrics import MessageStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.messages import Message
+
+__all__ = ["FastEngine"]
+
+
+class FastEngine:
+    """Struct-of-arrays state + staged messages + batched round execution."""
+
+    def __init__(
+        self,
+        states: Iterable[NodeState],
+        config: ProtocolConfig | None = None,
+        *,
+        dedup: bool = True,
+        keep_history: bool = False,
+    ) -> None:
+        cfg = config or ProtocolConfig()
+        if cfg.trace is not None:
+            raise ValueError(
+                "the batched engine does not support event tracing; "
+                "use the reference engine for trace-based tests"
+            )
+        self.config = cfg
+        self.soa = SoAState.from_states(states)
+        self.dedup = dedup
+        self.stats = MessageStats(keep_history=keep_history)
+        self.outbox = Outbox(self.stats)
+        self.kernels = Kernels(self.soa, self.outbox, cfg)
+        #: Messages sent to identifiers that no longer exist (dropped).
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def execute_round(self, rng: np.random.Generator) -> None:
+        """Advance the network by one synchronous round."""
+        inbox, dropped = build_inbox(
+            self.outbox.take_all(),
+            self.soa.lookup,
+            rng,
+            dedup=self.dedup,
+        )
+        self.dropped += dropped
+        k = self.kernels
+        if inbox is not None:
+            # Group rows by (wave, type): ascending waves preserve each
+            # node's sequential receive order; within a wave destinations
+            # are unique, so the type-dispatch order is immaterial.
+            group = inbox.rank.astype(np.int64) * 8 + inbox.tcode
+            order = np.argsort(group, kind="stable")
+            sorted_keys = group[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+            )
+            ends = np.r_[starts[1:], len(sorted_keys)]
+            for lo, hi in zip(starts, ends):
+                rows = order[lo:hi]
+                code = int(sorted_keys[lo] & 7)
+                idx = inbox.dest_idx[rows]
+                a = inbox.a[rows]
+                if code == LIN:
+                    k.linearize(idx, a)
+                elif code == INCLRL:
+                    k.respond_lrl(idx, a)
+                elif code == RESLRL:
+                    k.move_forget(idx, a, inbox.b[rows], inbox.c[rows], rng)
+                elif code == RING:
+                    k.respond_ring(idx, a)
+                elif code == RESRING:
+                    k.update_ring(idx, a)
+                elif code == PROBR:
+                    k.probing_r(idx, a)
+                else:
+                    k.probing_l(idx, a)
+        _, live_idx = self.soa.sorted_live()
+        k.regular_action(live_idx, rng)
+        self.outbox.flush_stats()
+
+    # ------------------------------------------------------------------
+    # Membership / churn (round boundaries only)
+    # ------------------------------------------------------------------
+    def join(self, new_id: float, contact_id: float) -> None:
+        """Add a fresh node knowing only *contact_id* (paper §IV-G).
+
+        Same contract as :func:`repro.churn.join.join_node`.
+        """
+        require_id(new_id, what="joining id")
+        if new_id in self.soa:
+            raise ValueError(f"id {new_id!r} already in the network")
+        if contact_id not in self.soa:
+            raise ValueError(f"contact {contact_id!r} not in the network")
+        if contact_id == new_id:
+            raise ValueError("a node cannot join via itself")
+        state = NodeState(id=new_id)
+        if contact_id < new_id:
+            state.corrupt(l=contact_id)
+        else:
+            state.corrupt(r=contact_id)
+        self.soa.add(state)
+
+    def leave(self, node_id: float) -> None:
+        """Remove *node_id*, purging every reference to it (paper §IV-G).
+
+        Same contract as :func:`repro.churn.leave.leave_node`: staged
+        messages to the departed node are dropped (and counted), staged
+        messages mentioning it are purged (uncounted, mirroring
+        ``Network.purge_identifier``), and every stored reference is
+        scrubbed.
+        """
+        if node_id not in self.soa:
+            raise KeyError(f"no node with id {node_id!r}")
+        self.soa.remove(node_id)
+        self.dropped += self.outbox.drop_dest(node_id)
+        self.outbox.purge_mentions(node_id)
+        self.soa.scrub_departed(node_id)
+
+    def __contains__(self, node_id: float) -> bool:
+        return node_id in self.soa
+
+    def __len__(self) -> int:
+        return self.soa.n_live
+
+    @property
+    def ids(self) -> list[float]:
+        """All current node identifiers, sorted ascending."""
+        return self.soa.live_ids_list()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict[float, StateTuple]:
+        """Canonical per-node snapshot (differential-harness contract)."""
+        return self.soa.snapshot()
+
+    def pending_total(self) -> int:
+        """Total undelivered (staged) messages."""
+        return self.outbox.pending_total()
+
+    def inflight_pairs(self, code: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(dest_ids, payload)`` of pending single-id messages of *code*.
+
+        Between rounds every undelivered message sits in the outbox (the
+        batched round drains its whole inbox), so this is the complete
+        in-flight set — what the channel-connectivity predicates read.
+        """
+        pending = self.outbox.pending_by_type().get(code)
+        if pending is None:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        return pending[0], pending[1]
+
+    def pending_messages(self) -> list[tuple[float, "Message"]]:
+        """Pending messages as ``(dest, Message)`` pairs (export path)."""
+        return self.outbox.pending_messages()
+
+    def __repr__(self) -> str:
+        return (
+            f"FastEngine(n={len(self)}, pending={self.pending_total()}, "
+            f"sent={self.stats.total})"
+        )

@@ -1,0 +1,387 @@
+"""Typed per-round message buffers for the batched engine.
+
+The reference engine allocates one frozen :class:`~repro.core.messages.Message`
+dataclass per send and drains them one at a time.  The batched engine
+never materializes message objects on the hot path: a send is an *array
+append* — ``(destination ids, payload columns)`` chunks accumulated per
+message type in an :class:`Outbox` — and a round's inbox is the
+concatenation of last round's chunks, deduplicated and ordered in bulk
+(:func:`build_inbox`).
+
+Wire format: every message is a row ``(dest, a, b, c)`` where ``a`` is the
+single payload identifier for the six single-id types and
+``(a, b, c) = (responder, id1, id2)`` for ``reslrl`` (``b``/``c`` may be
+the ±∞ sentinels, exactly as on the reference wire).  Unused columns hold
+``0.0`` — never ``NaN``, which would break row-wise deduplication
+(``NaN != NaN``).
+
+Delivery-order model: the reference channel hands each node a uniformly
+random permutation of its pending messages, which the receive action then
+processes *sequentially*.  The batched equivalent keys every delivered
+message with one uniform draw, sorts by ``(destination, key)``, and
+processes the inbox in **waves**: wave *k* holds each destination's
+(k+1)-th message, so within a wave every destination appears at most once
+and all handlers vectorize without read/write hazards; across waves the
+per-node sequential semantics are preserved.  See docs/PERF.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.messages import Message, MessageType
+from repro.sim.metrics import MessageStats
+
+__all__ = [
+    "LIN",
+    "INCLRL",
+    "RESLRL",
+    "RING",
+    "RESRING",
+    "PROBR",
+    "PROBL",
+    "N_TYPES",
+    "TYPE_OF_CODE",
+    "CODE_OF_TYPE",
+    "Outbox",
+    "RoundInbox",
+    "build_inbox",
+]
+
+#: Compact message-type codes (array-friendly stand-ins for MessageType).
+LIN, INCLRL, RESLRL, RING, RESRING, PROBR, PROBL = range(7)
+N_TYPES = 7
+
+TYPE_OF_CODE: tuple[MessageType, ...] = (
+    MessageType.LIN,
+    MessageType.INCLRL,
+    MessageType.RESLRL,
+    MessageType.RING,
+    MessageType.RESRING,
+    MessageType.PROBR,
+    MessageType.PROBL,
+)
+
+CODE_OF_TYPE: dict[MessageType, int] = {t: c for c, t in enumerate(TYPE_OF_CODE)}
+
+_Chunk = tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]
+_KeepFn = Callable[[int, _Chunk], np.ndarray]
+
+
+class Outbox:
+    """Staged outgoing messages, accumulated as per-type array chunks.
+
+    Messages sent during round *t* become receivable in round *t+1*, so the
+    outbox doubles as the engine's staging area; :meth:`take_all` is the
+    flush.  Send counts accumulate as plain integers and reach the shared
+    stats via :meth:`flush_stats` once per round, preserving the reference
+    ``Network.send`` contract that counts every send — even one addressed
+    to an identifier that no longer exists.
+    """
+
+    __slots__ = ("_chunks", "_counts", "stats")
+
+    def __init__(self, stats: MessageStats) -> None:
+        self.stats = stats
+        self._chunks: list[list[_Chunk]] = [[] for _ in range(N_TYPES)]
+        self._counts: list[int] = [0] * N_TYPES
+
+    def send(
+        self,
+        code: int,
+        dest: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        c: np.ndarray | None = None,
+    ) -> None:
+        """Stage one aligned batch of messages of a single type."""
+        count = len(dest)
+        if count == 0:
+            return
+        self._counts[code] += count
+        self._chunks[code].append((dest, a, b, c))
+
+    def flush_stats(self) -> None:
+        """Transfer accumulated send counts into the shared stats.
+
+        Counting is deferred from :meth:`send` (a plain integer add on the
+        hot path) to once per round; the engine flushes before the round
+        ends, so between rounds the totals match the reference contract —
+        every send counted, including ones later dropped or purged.
+        """
+        for code, count in enumerate(self._counts):
+            if count:
+                self.stats.record_sends(TYPE_OF_CODE[code], count)
+        self._counts = [0] * N_TYPES
+
+    def take_all(self) -> list[list[_Chunk]]:
+        """Remove and return all staged chunks (the per-round flush)."""
+        chunks = self._chunks
+        self._chunks = [[] for _ in range(N_TYPES)]
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Introspection / churn support
+    # ------------------------------------------------------------------
+    def pending_by_type(self) -> dict[int, tuple[np.ndarray, ...]]:
+        """Concatenated pending arrays per type code (non-destructive).
+
+        Returns ``{code: (dest, a)}`` for single-id types and
+        ``{RESLRL: (dest, a, b, c)}``; types with nothing pending are
+        omitted.  Used by predicates (in-flight links) and exports.
+        """
+        out: dict[int, tuple[np.ndarray, ...]] = {}
+        for code, chunks in enumerate(self._chunks):
+            if not chunks:
+                continue
+            dest = np.concatenate([ch[0] for ch in chunks])
+            a = np.concatenate([ch[1] for ch in chunks])
+            if code == RESLRL:
+                b = np.concatenate([_col(ch, 2, len(ch[0])) for ch in chunks])
+                c = np.concatenate([_col(ch, 3, len(ch[0])) for ch in chunks])
+                out[code] = (dest, a, b, c)
+            else:
+                out[code] = (dest, a)
+        return out
+
+    def pending_total(self) -> int:
+        """Number of staged messages."""
+        return sum(len(ch[0]) for chunks in self._chunks for ch in chunks)
+
+    def pending_messages(self) -> list[tuple[float, Message]]:
+        """Materialize pending messages as ``(dest, Message)`` pairs.
+
+        Off the hot path — used only by :meth:`FastSimulator.to_network`
+        exports and white-box tests.
+        """
+        out: list[tuple[float, Message]] = []
+        for code, arrays in self.pending_by_type().items():
+            mtype = TYPE_OF_CODE[code]
+            if code == RESLRL:
+                dest, a, b, c = arrays
+                for k in range(len(dest)):
+                    message = Message(mtype, (float(a[k]), float(b[k]), float(c[k])))
+                    out.append((float(dest[k]), message))
+            else:
+                dest, a = arrays
+                for k in range(len(dest)):
+                    out.append((float(dest[k]), Message(mtype, (float(a[k]),))))
+        return out
+
+    def _filter(self, keep_of_chunk: _KeepFn) -> int:
+        removed = 0
+        for code, chunks in enumerate(self._chunks):
+            fresh: list[_Chunk] = []
+            for ch in chunks:
+                keep = keep_of_chunk(code, ch)
+                kept = int(keep.sum())
+                removed += len(ch[0]) - kept
+                if kept == 0:
+                    continue
+                if kept == len(ch[0]):
+                    fresh.append(ch)
+                else:
+                    fresh.append(
+                        (
+                            ch[0][keep],
+                            ch[1][keep],
+                            None if ch[2] is None else ch[2][keep],
+                            None if ch[3] is None else ch[3][keep],
+                        )
+                    )
+            self._chunks[code] = fresh
+        return removed
+
+    def drop_dest(self, nid: float) -> int:
+        """Drop staged messages addressed to *nid* (node removal)."""
+        return self._filter(lambda code, ch: ch[0] != nid)
+
+    def purge_mentions(self, nid: float) -> int:
+        """Drop staged messages whose payload mentions *nid*.
+
+        The array analogue of ``Network.purge_identifier`` restricted to
+        staging (between rounds the channels are empty, so staging is the
+        entire in-flight set).
+        """
+
+        def keep(code: int, ch: _Chunk) -> np.ndarray:
+            hit = ch[1] == nid
+            if code == RESLRL and ch[2] is not None and ch[3] is not None:
+                hit = hit | (ch[2] == nid) | (ch[3] == nid)
+            return ~hit
+
+        return self._filter(keep)
+
+
+def _col(ch: _Chunk, position: int, count: int) -> np.ndarray:
+    column = ch[position]
+    if column is None:
+        return np.zeros(count, dtype=np.float64)
+    return column
+
+
+@dataclass
+class RoundInbox:
+    """One round's deliverable messages, ordered for wave processing.
+
+    Rows are sorted by ``(dest_idx, uniform key)``; ``rank`` is each row's
+    position within its destination's segment, so ``rank == k`` selects
+    wave *k* (at most one message per destination).
+    """
+
+    dest_idx: np.ndarray
+    tcode: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    rank: np.ndarray
+    n_waves: int
+
+    def __len__(self) -> int:
+        return len(self.dest_idx)
+
+
+def build_inbox(
+    chunks: list[list[_Chunk]],
+    lookup: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    rng: np.random.Generator,
+    *,
+    dedup: bool,
+) -> tuple[RoundInbox | None, int]:
+    """Assemble the round's inbox from last round's staged chunks.
+
+    Parameters
+    ----------
+    chunks:
+        The outbox's :meth:`Outbox.take_all` result.
+    lookup:
+        Vectorized id→index resolution (``SoAState.lookup``); unresolved
+        destinations are dropped and counted (second return value), the
+        batched analogue of the reference network's drop-on-flush.
+    rng:
+        Draws the uniform delivery-ordering keys — the round's single
+        batched RNG call for delivery order.
+    dedup:
+        Coalesce identical ``(dest, type, payload)`` rows, the array
+        analogue of the reference channel's coalescing-set mode
+        (DESIGN.md §4.7); ``False`` preserves multiset semantics.
+    """
+    dests: list[np.ndarray] = []
+    cols_a: list[np.ndarray] = []
+    per_code_counts = np.zeros(N_TYPES, dtype=np.int64)
+    reslrl_b: list[np.ndarray] = []
+    reslrl_c: list[np.ndarray] = []
+    for code, per_type in enumerate(chunks):
+        for ch in per_type:
+            per_code_counts[code] += len(ch[0])
+            dests.append(ch[0])
+            cols_a.append(ch[1])
+            if code == RESLRL:
+                count = len(ch[0])
+                reslrl_b.append(_col(ch, 2, count))
+                reslrl_c.append(_col(ch, 3, count))
+    if not dests:
+        return None, 0
+    total = int(per_code_counts.sum())
+    dest_id = np.concatenate(dests)
+    tcode = np.repeat(np.arange(N_TYPES, dtype=np.int8), per_code_counts)
+    a = np.concatenate(cols_a)
+    # Only reslrl carries payload columns b/c; fill the rest with the 0.0
+    # filler in one allocation instead of zero-chunks per send.
+    b = np.zeros(total, dtype=np.float64)
+    c = np.zeros(total, dtype=np.float64)
+    if reslrl_b:
+        lo = int(per_code_counts[:RESLRL].sum())
+        hi = lo + int(per_code_counts[RESLRL])
+        b[lo:hi] = np.concatenate(reslrl_b)
+        c[lo:hi] = np.concatenate(reslrl_c)
+
+    dest_idx, found = lookup(dest_id)
+    dropped = int(len(found) - found.sum())
+    if dropped:
+        dest_idx = dest_idx[found]
+        tcode = tcode[found]
+        a, b, c = a[found], b[found], c[found]
+    if len(dest_idx) == 0:
+        return None, dropped
+
+    if dedup:
+        # Exact row dedup via integer keys: (dest, type) packed into one
+        # int64 plus the payload columns reinterpreted as raw bits (ids,
+        # sentinels, and the 0.0 filler all have unique bit patterns; NaN
+        # never goes on the wire).  ``tcode`` is nondecreasing by
+        # construction, so the reslrl rows — the only type with b/c
+        # payloads — form one contiguous block; everything else dedups on
+        # just (head, a), keeping the dominant sort at two keys.
+        head = dest_idx.astype(np.int64) * np.int64(N_TYPES + 1) + tcode
+        a_bits = np.ascontiguousarray(a).view(np.uint64)
+        lo = int(np.searchsorted(tcode, RESLRL, side="left"))
+        hi = int(np.searchsorted(tcode, RESLRL, side="right"))
+        keep_chunks = []
+        for rows, keys_of_rows in (
+            (
+                np.concatenate((np.arange(lo), np.arange(hi, len(head)))),
+                lambda rows: (a_bits[rows], head[rows]),
+            ),
+            (
+                np.arange(lo, hi),
+                lambda rows: (
+                    np.ascontiguousarray(c[rows]).view(np.uint64),
+                    np.ascontiguousarray(b[rows]).view(np.uint64),
+                    a_bits[rows],
+                    head[rows],
+                ),
+            ),
+        ):
+            if len(rows) == 0:
+                continue
+            sort_keys = keys_of_rows(rows)
+            row_order = np.lexsort(sort_keys)
+            sorted_keys = tuple(k[row_order] for k in sort_keys)
+            fresh = np.zeros(len(rows), dtype=bool)
+            fresh[0] = True
+            for k in sorted_keys:
+                fresh[1:] |= k[1:] != k[:-1]
+            keep_chunks.append(rows[row_order[fresh]])
+        unique_pos = np.concatenate(keep_chunks)
+        dest_idx = dest_idx[unique_pos]
+        tcode = tcode[unique_pos]
+        a, b, c = a[unique_pos], b[unique_pos], c[unique_pos]
+
+    # Delivery order: one uniform key per row, sorted by (dest, key).  A
+    # single packed-int64 argsort beats a two-key lexsort; 42 random bits
+    # make key ties (which fall back to staging order) vanishingly rare
+    # and harmless — any exchangeable tiebreak is still a uniform order.
+    if len(dest_idx) and int(dest_idx.max()) < (1 << 21):
+        packed = dest_idx.astype(np.int64) << np.int64(42)
+        packed |= rng.integers(0, 1 << 42, size=len(dest_idx), dtype=np.int64)
+        order = np.argsort(packed, kind="stable")
+    else:  # pragma: no cover - beyond 2M slots; keep the exact path
+        order = np.lexsort((rng.random(len(dest_idx)), dest_idx))
+    dest_idx = dest_idx[order]
+    tcode = tcode[order]
+    a, b, c = a[order], b[order], c[order]
+
+    count = len(dest_idx)
+    positions = np.arange(count, dtype=np.int64)
+    boundary = np.empty(count, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = dest_idx[1:] != dest_idx[:-1]
+    segment_start = np.maximum.accumulate(np.where(boundary, positions, 0))
+    rank = positions - segment_start
+    n_waves = int(rank.max()) + 1
+    return (
+        RoundInbox(
+            dest_idx=dest_idx,
+            tcode=tcode,
+            a=a,
+            b=b,
+            c=c,
+            rank=rank,
+            n_waves=n_waves,
+        ),
+        dropped,
+    )

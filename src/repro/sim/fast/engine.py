@@ -1,0 +1,123 @@
+"""The :class:`FastSimulator` driver for the fast engines.
+
+Plugs either fast engine into the shared
+:class:`~repro.sim.engine.BaseSimulator` round loops, so experiments call
+``run`` / ``run_until`` / ``run_phases`` exactly as they do on the
+reference :class:`~repro.sim.engine.Simulator` — predicates just receive
+the engine instead of a :class:`~repro.sim.network.Network`
+(:mod:`repro.sim.fast.predicates` provides the matching phase predicates).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState, StateTuple
+from repro.sim.engine import BaseSimulator
+from repro.sim.fast.batched import FastEngine
+from repro.sim.fast.mirror import MirrorEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.sim.network import Network
+
+__all__ = ["FastSimulator"]
+
+#: Either engine the driver can host.
+AnyFastEngine = FastEngine | MirrorEngine
+
+
+class FastSimulator(BaseSimulator[AnyFastEngine]):
+    """Drives a fast engine forward, one synchronous round per step.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.sim.fast.batched.FastEngine` (the fast default) or
+        a :class:`~repro.sim.fast.mirror.MirrorEngine` (the bit-exact
+        reference twin); see :meth:`from_states` for the convenient path.
+    rng:
+        Randomness source, exactly as for the reference simulator.
+    """
+
+    def __init__(
+        self,
+        engine: AnyFastEngine,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(rng)
+        self.engine = engine
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Iterable[NodeState],
+        config: ProtocolConfig | None = None,
+        *,
+        mode: str = "batched",
+        dedup: bool = True,
+        keep_history: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FastSimulator":
+        """Build an engine of the requested *mode* and wrap it.
+
+        ``mode="batched"`` (default) gives the vectorized engine;
+        ``mode="mirror"`` gives the draw-for-draw reference twin used by
+        the differential-equivalence tests (docs/PERF.md).
+        """
+        engine: AnyFastEngine
+        if mode == "batched":
+            engine = FastEngine(
+                states, config, dedup=dedup, keep_history=keep_history
+            )
+        elif mode == "mirror":
+            engine = MirrorEngine(
+                states, config, dedup=dedup, keep_history=keep_history
+            )
+        else:
+            raise ValueError(
+                f"unknown engine mode {mode!r}; expected 'batched' or 'mirror'"
+            )
+        return cls(engine, rng)
+
+    @property
+    def predicate_target(self) -> AnyFastEngine:
+        """Predicates over the fast engines see the engine itself."""
+        return self.engine
+
+    def step_round(self) -> None:
+        """Execute exactly one round."""
+        self.engine.execute_round(self.rng)
+        self.engine.stats.end_round()
+        self.round_index += 1
+
+    def state_snapshot(self) -> dict[float, StateTuple]:
+        """Canonical per-node snapshot (differential-harness contract)."""
+        return self.engine.state_snapshot()
+
+    def to_network(self, *, keep_history: bool = False) -> "Network":
+        """Export the engine into a reference :class:`Network`.
+
+        The export carries the live node states and the pending messages
+        (re-staged via :meth:`Network.stage` so send statistics are not
+        double-counted); message counters and the dropped count start fresh
+        on the new network.  Useful for running the reference graph views
+        and analysis tools on a state the fast engine produced.
+        """
+        from repro.core.node import Node
+        from repro.sim.network import Network
+
+        network = Network(
+            (
+                Node(state, self.engine.config)
+                for state in self.engine.soa.to_states()
+            ),
+            dedup=self.engine.dedup,
+            keep_history=keep_history,
+        )
+        for dest, message in self.engine.pending_messages():
+            network.stage(dest, message)
+        return network

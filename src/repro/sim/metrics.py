@@ -32,6 +32,18 @@ class MessageStats:
         self._totals[mtype] += 1
         self._round_counts[mtype] += 1
 
+    def record_sends(self, mtype: MessageType, count: int) -> None:
+        """Count *count* sent messages of one type in a single call.
+
+        The batched engine (:mod:`repro.sim.fast`) stages whole arrays of
+        messages at once; calling :meth:`record_send` per element would put
+        a Python-level loop back on the hot path.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._totals[mtype] += count
+        self._round_counts[mtype] += count
+
     def end_round(self) -> dict[MessageType, int]:
         """Close the current round; returns (and optionally archives) its counts."""
         counts = dict(self._round_counts)

@@ -27,7 +27,7 @@ from repro.sim.metrics import MessageStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.node import Node
-    from repro.core.state import NodeState
+    from repro.core.state import NodeState, StateTuple
 
 __all__ = ["Network"]
 
@@ -49,6 +49,11 @@ class Network:
         self._channels: dict[float, Channel] = {}
         self._senders: dict[float, SendFn] = {}
         self._staging: list[tuple[float, Message]] = []
+        # Sorted-id cache: the synchronous scheduler reads ``ids`` every
+        # round, and re-sorting n identifiers per round is O(n log n) of
+        # pure waste while membership is unchanged.  Invalidated by
+        # add_node/remove_node.
+        self._ids_cache: list[float] | None = None
         self._dedup = dedup
         self.stats = MessageStats(keep_history=keep_history)
         #: Messages sent to identifiers that no longer exist (dropped).
@@ -66,6 +71,7 @@ class Network:
             raise ValueError(f"duplicate node id {nid!r}")
         self._nodes[nid] = node
         self._channels[nid] = Channel(dedup=self._dedup)
+        self._ids_cache = None
 
     def remove_node(self, node_id: float) -> "Node":
         """Remove the node with *node_id*; its pending messages are lost."""
@@ -73,6 +79,10 @@ class Network:
             raise KeyError(f"no node with id {node_id!r}")
         node = self._nodes.pop(node_id)
         self._channels.pop(node_id).clear()
+        self._ids_cache = None
+        # Evict the departed node's bound sender: without this, sustained
+        # churn (E17) leaks one closure per node that ever lived.
+        self._senders.pop(node_id, None)
         # Staged messages addressed to the departed node are dropped too.
         before = len(self._staging)
         self._staging = [(d, m) for d, m in self._staging if d != node_id]
@@ -90,8 +100,14 @@ class Network:
 
     @property
     def ids(self) -> list[float]:
-        """All current node identifiers, sorted ascending."""
-        return sorted(self._nodes)
+        """All current node identifiers, sorted ascending.
+
+        The list is cached until membership changes; callers must treat it
+        as read-only (the schedulers only index into it).
+        """
+        if self._ids_cache is None:
+            self._ids_cache = sorted(self._nodes)
+        return self._ids_cache
 
     def node(self, node_id: float) -> "Node":
         """Return the node with the given identifier."""
@@ -104,6 +120,17 @@ class Network:
     def states(self) -> dict[float, "NodeState"]:
         """Map every node id to its (live, not copied) protocol state."""
         return {nid: node.state for nid, node in self._nodes.items()}
+
+    def state_snapshot(self) -> "dict[float, StateTuple]":
+        """Canonical per-node snapshot (:data:`repro.core.state.StateTuple`).
+
+        The differential-equivalence harness (docs/PERF.md) compares this
+        against :meth:`repro.sim.fast.FastSimulator.state_snapshot` — the
+        two engines agree on a round iff the dicts are equal.
+        """
+        from repro.core.state import snapshot_states
+
+        return snapshot_states(self.states())
 
     # ------------------------------------------------------------------
     # Messaging
@@ -128,6 +155,16 @@ class Network:
         back to the sender.
         """
         self.send(dest, message)
+
+    def stage(self, dest: float, message: Message) -> None:
+        """Stage *message* without counting it as a send.
+
+        Transport-level entry point: engine exports
+        (:meth:`repro.sim.fast.FastSimulator.to_network`) re-stage pending
+        messages that were already counted when originally sent, so staging
+        them again must not inflate the send statistics.
+        """
+        self._enqueue(dest, message)
 
     def sender(self, origin: float) -> SendFn:
         """A send callback bound to *origin* (cached per node).

@@ -90,6 +90,17 @@ class AsyncScheduler:
     Every (node, pending message) pair and every regular action has positive
     probability at every step, so fair receipt and weak fairness hold almost
     surely.
+
+    .. note:: **Seed-breaking change (PR 3).**  ``execute_round`` now
+       pre-draws the whole round's node choices (one ``rng.integers`` call)
+       and receive/act coins (one ``rng.random`` call) instead of one numpy
+       call per elementary step — membership cannot change mid-round, so the
+       batched draws are distributionally identical, but the *sequence* of
+       RNG draws differs from earlier releases: fixed-seed traces recorded
+       before this change do not replay.  Runs remain fully deterministic
+       for a fixed seed (pinned by ``tests/test_sim_engine.py``).
+       ``execute_step`` keeps the original one-draw-per-step behavior for
+       callers that single-step.
     """
 
     def __init__(
@@ -110,8 +121,30 @@ class AsyncScheduler:
         if n == 0:
             return
         steps = self.steps_per_round if self.steps_per_round is not None else 4 * n
-        for _ in range(steps):
-            self.execute_step(network, rng)
+        # Batched draws: node choices and coins for the whole round in two
+        # numpy calls.  Protocol handlers never add or remove nodes, so the
+        # membership size is invariant across the round's steps; the guard
+        # below falls back to per-step draws if an external hook ever
+        # changes membership mid-round.
+        node_choices = rng.integers(0, n, size=steps)
+        coins = rng.random(steps)
+        for k in range(steps):
+            network.flush()
+            ids = network.ids
+            if len(ids) != n:
+                # Pre-drawn choices index the original membership; re-draw
+                # this step instead (the extra flush inside is a no-op).
+                self.execute_step(network, rng)
+                continue
+            nid = ids[int(node_choices[k])]
+            node = network.node(nid)
+            channel = network.channel(nid)
+            send = network.sender(nid)
+            if channel and coins[k] < self.receive_probability:
+                message = channel.pop_random(rng)
+                node.on_message(message, send, rng)
+            else:
+                node.regular_action(send, rng)
 
     def execute_step(self, network: Network, rng: np.random.Generator) -> None:
         """One elementary asynchronous step."""

@@ -17,8 +17,8 @@ from repro.experiments.common import ExperimentResult, seed_rng
 
 class TestRegistry:
     def test_all_present(self):
-        assert len(EXPERIMENTS) == 21
-        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 22)]
+        assert len(EXPERIMENTS) == 22
+        assert sorted(EXPERIMENTS) == [f"e{i:02d}" for i in range(1, 23)]
 
     def test_lookup(self):
         assert get_experiment("e03").id == "e03"
@@ -176,6 +176,20 @@ class TestDrivers:
             for r in res.rows
             if r["transport"] == "baseline"
         )
+
+    def test_e22(self):
+        # Tiny sizes exercise the full path (batched convergence, reference
+        # comparison, routing); the >=10x speedup claim needs real sizes and
+        # is asserted by benchmarks/bench_e22_scale.py, not here.
+        res = get_experiment("e22").run(
+            sizes=(64, 128), queries=50, reference_max_n=64
+        )
+        assert [r["n"] for r in res.rows] == [64, 128]
+        assert all(r["rounds"] >= 1 for r in res.rows)
+        assert all(r["route_hops"] > 0 for r in res.rows)
+        # Reference comparison only where n <= reference_max_n.
+        assert res.rows[0]["ref_rounds"] >= 1
+        assert res.rows[1]["ref_s"] == ""
 
 
 class TestResultRendering:

@@ -122,3 +122,42 @@ class TestChurnSupport:
         # After purging, an identical message must be acceptable again.
         net.send(0.5, lin(0.9))
         assert net.flush() == 1
+
+
+class TestSenderCache:
+    def test_remove_node_evicts_cached_sender(self):
+        """Regression: cached bound senders must not outlive their node.
+
+        ``Network.sender`` memoizes one closure per origin; before PR 3 the
+        cache was never evicted, so long churn runs leaked one entry (and
+        one strong reference to nothing useful) per departed node.
+        """
+        net = make_net(0.1, 0.5, 0.9)
+        for nid in (0.1, 0.5, 0.9):
+            net.sender(nid)
+        assert set(net._senders) == {0.1, 0.5, 0.9}
+        net.remove_node(0.5)
+        assert 0.5 not in net._senders
+        assert set(net._senders) == {0.1, 0.9}
+        # Rejoining the same identifier builds a fresh closure.
+        net.add_node(Node(NodeState(id=0.5), ProtocolConfig()))
+        fresh = net.sender(0.5)
+        fresh(0.9, lin(0.5))
+        net.flush()
+        assert len(net.channel(0.9)) == 1
+
+    def test_remove_never_cached_sender_is_noop(self):
+        net = make_net(0.1, 0.5)
+        net.remove_node(0.5)  # sender(0.5) never requested — must not raise
+        assert 0.5 not in net._senders
+
+    def test_ids_cache_invalidated_by_membership_changes(self):
+        """`.ids` is cached between membership changes; changes refresh it."""
+        net = make_net(0.5, 0.1)
+        first = net.ids
+        assert first == [0.1, 0.5]
+        assert net.ids is first  # cached: same list object until a change
+        net.add_node(Node(NodeState(id=0.3), ProtocolConfig()))
+        assert net.ids == [0.1, 0.3, 0.5]
+        net.remove_node(0.1)
+        assert net.ids == [0.3, 0.5]
