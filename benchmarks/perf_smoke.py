@@ -8,12 +8,18 @@ the measured ratio regresses more than 25% past the baseline (the fast
 engine getting slower relative to the reference), and prints-but-passes
 when it improves enough that the baseline should be re-recorded.
 
+A second, independent gate pins the observability layer's cost contract
+(docs/OBSERVABILITY.md): with no observer active the instrumentation
+hooks must stay within ``OBS_SLACK`` (5%) of a hook-free round loop.  The
+disabled hot path is one ``is None`` check per round, so this gate
+catches anyone accidentally moving real work outside that check.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py            # gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # both gates
     PYTHONPATH=src python benchmarks/perf_smoke.py --record   # new baseline
 
-CI runs the gate on every push (docs/PERF.md).
+CI runs the gates on every push (docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import time
 import numpy as np
 
 BASELINE = pathlib.Path(__file__).parent / "perf_baseline.json"
+OBS_BENCH = pathlib.Path(__file__).parent.parent / "BENCH_obs_overhead.json"
 
 #: The workload: small enough for seconds-scale CI, large enough that the
 #: batched engine's per-round overhead is amortized (at n below ~256 the
@@ -35,6 +42,16 @@ N = 768
 SEED = 2024
 REPEATS = 3
 SLACK = 1.25
+
+#: Obs-disabled overhead gate: a hooked-but-unobserved round loop must
+#: stay within 5% of a loop with no hooks at all.  Fixed round counts so
+#: both variants do byte-identical protocol work; sizes chosen so each
+#: measurement is a few hundred milliseconds (min-of-repeats kills most
+#: scheduler noise at that scale).
+OBS_SLACK = 1.05
+OBS_REPEATS = 5
+OBS_FAST_N, OBS_FAST_ROUNDS = 512, 300
+OBS_REF_N, OBS_REF_ROUNDS = 192, 80
 
 
 def _workload_states():
@@ -85,6 +102,99 @@ def measure() -> dict[str, float]:
     }
 
 
+def _obs_fast(bare: bool) -> float:
+    """Fixed-round batched run; ``bare`` bypasses the step_round hook."""
+    from repro.core.protocol import ProtocolConfig
+    from repro.sim.fast import FastSimulator
+    from repro.topology.generators import TOPOLOGIES
+
+    states = TOPOLOGIES["line"](OBS_FAST_N, np.random.default_rng(SEED))
+    sim = FastSimulator.from_states(
+        states, ProtocolConfig(), rng=np.random.default_rng(SEED)
+    )
+    engine, rng = sim.engine, sim.rng
+    start = time.perf_counter()
+    if bare:
+        for _ in range(OBS_FAST_ROUNDS):
+            engine.execute_round(rng)
+            engine.stats.end_round()
+    else:
+        sim.run(OBS_FAST_ROUNDS)
+    return time.perf_counter() - start
+
+
+def _obs_reference(bare: bool) -> float:
+    """Fixed-round reference run; ``bare`` bypasses the step_round hook."""
+    from repro.core.protocol import ProtocolConfig, build_network
+    from repro.sim.engine import Simulator
+    from repro.topology.generators import TOPOLOGIES
+
+    states = TOPOLOGIES["line"](OBS_REF_N, np.random.default_rng(SEED))
+    net = build_network(states, ProtocolConfig())
+    sim = Simulator(net, rng=np.random.default_rng(SEED))
+    scheduler, rng = sim.scheduler, sim.rng
+    start = time.perf_counter()
+    if bare:
+        for _ in range(OBS_REF_ROUNDS):
+            scheduler.execute_round(net, rng)
+            net.stats.end_round()
+    else:
+        sim.run(OBS_REF_ROUNDS)
+    return time.perf_counter() - start
+
+
+def measure_obs_overhead() -> dict[str, float]:
+    """Hooked-but-unobserved vs hook-free round loops, both engines.
+
+    No observer is active in this process, so the hooked path is the
+    production obs-disabled path: one attribute load and ``is None``
+    branch per round (docs/OBSERVABILITY.md's cost contract).
+
+    Bare/hooked repeats are *interleaved* and min-reduced: the true
+    per-round delta is sub-microsecond against millisecond rounds, so
+    any measured gap beyond noise is a real hot-path regression — but
+    only if slow drift (turbo, co-tenants) hits both variants equally.
+    """
+    timings: dict[str, list[float]] = {
+        "fast_bare": [], "fast_hooked": [], "ref_bare": [], "ref_hooked": []
+    }
+    for _ in range(OBS_REPEATS):
+        timings["fast_bare"].append(_obs_fast(bare=True))
+        timings["fast_hooked"].append(_obs_fast(bare=False))
+        timings["ref_bare"].append(_obs_reference(bare=True))
+        timings["ref_hooked"].append(_obs_reference(bare=False))
+    fast_bare = min(timings["fast_bare"])
+    fast_hooked = min(timings["fast_hooked"])
+    ref_bare = min(timings["ref_bare"])
+    ref_hooked = min(timings["ref_hooked"])
+    return {
+        "fast_bare_seconds": round(fast_bare, 4),
+        "fast_hooked_seconds": round(fast_hooked, 4),
+        "fast_ratio": round(fast_hooked / fast_bare, 4),
+        "ref_bare_seconds": round(ref_bare, 4),
+        "ref_hooked_seconds": round(ref_hooked, 4),
+        "ref_ratio": round(ref_hooked / ref_bare, 4),
+    }
+
+
+def record_obs_bench(result: dict[str, float]) -> None:
+    """Machine-stamp the measured overhead into ``BENCH_obs_overhead.json``."""
+    import platform
+
+    entry = {
+        "bench": "obs_overhead",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "gate": f"hooked/bare ratio <= {OBS_SLACK}",
+        "workloads": {
+            "fast": {"n": OBS_FAST_N, "rounds": OBS_FAST_ROUNDS, "seed": SEED},
+            "reference": {"n": OBS_REF_N, "rounds": OBS_REF_ROUNDS, "seed": SEED},
+        },
+        **result,
+    }
+    OBS_BENCH.write_text(json.dumps([entry], indent=2) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -92,7 +202,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write the measured ratio as the new baseline and exit",
     )
+    parser.add_argument(
+        "--skip-obs",
+        action="store_true",
+        help="skip the obs-disabled overhead gate (engine-ratio gate only)",
+    )
     args = parser.parse_args(argv)
+
+    obs_failed = False
+    if not args.skip_obs:
+        obs = measure_obs_overhead()
+        print(
+            f"perf-smoke[obs]: fast hooked={obs['fast_hooked_seconds']}s "
+            f"bare={obs['fast_bare_seconds']}s ratio={obs['fast_ratio']}  "
+            f"reference hooked={obs['ref_hooked_seconds']}s "
+            f"bare={obs['ref_bare_seconds']}s ratio={obs['ref_ratio']}"
+        )
+        obs_failed = max(obs["fast_ratio"], obs["ref_ratio"]) > OBS_SLACK
+        if obs_failed:
+            print(
+                "perf-smoke[obs]: disabled observability costs more than "
+                f"{int((OBS_SLACK - 1) * 100)}%; the obs-disabled hot path "
+                "must stay a single None-check per round "
+                "(docs/OBSERVABILITY.md)"
+            )
+        if args.record:
+            record_obs_bench(obs)
+            print(f"perf-smoke[obs]: recorded to {OBS_BENCH}")
 
     result = measure()
     print(
@@ -106,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
             + "\n"
         )
         print(f"perf-smoke: baseline recorded to {BASELINE}")
-        return 0
+        return 1 if obs_failed else 0
 
     if not BASELINE.exists():
         print("perf-smoke: no baseline recorded; run with --record first")
@@ -130,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
             "perf-smoke: ratio improved well past the baseline — consider "
             "re-recording with --record"
         )
-    return 0
+    return 1 if obs_failed else 0
 
 
 if __name__ == "__main__":

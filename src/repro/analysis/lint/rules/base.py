@@ -9,6 +9,7 @@ paper grounding it enforces, and a :meth:`Rule.check` generator producing
 from __future__ import annotations
 
 import abc
+import ast
 from collections.abc import Iterator
 from typing import ClassVar
 
@@ -34,6 +35,6 @@ class Rule(abc.ABC):
     def check(self, module: ModuleUnit) -> Iterator[Finding]:
         """Yield findings for *module*."""
 
-    def finding(self, module: ModuleUnit, node, message: str) -> Finding:
+    def finding(self, module: ModuleUnit, node: ast.AST, message: str) -> Finding:
         """Shorthand for a finding owned by this rule."""
         return module.finding(self.id, self.severity, node, message)

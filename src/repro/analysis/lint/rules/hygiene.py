@@ -57,7 +57,7 @@ class BroadExceptRule(Rule):
     """``except Exception:`` is nearly as opaque as a bare except."""
 
     id = "broad-except"
-    severity = Severity.WARNING
+    severity = Severity.ERROR
     summary = "'except Exception:'/'except BaseException:' catch-all handler"
     grounding = (
         "a catch-all handler converts every programming error into an "

@@ -6,6 +6,8 @@ Examples::
     repro run e03
     repro run e05 sizes=256,512,1024 queries=500
     repro run all quick=1
+    repro run e18 obs=runs/e18        # instrumented: telemetry into runs/e18
+    repro obs summarize runs/e18      # inspect the artifacts afterwards
 
 Parameter values are parsed as Python literals where possible (ints,
 floats, tuples via comma lists), so every driver keyword can be set from
@@ -85,12 +87,22 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
 def _run_one(experiment_id: str, params: dict[str, object]) -> None:
     params = dict(params)  # never mutate the caller's dict (run-all shares it)
     out = params.pop("out", None)
+    obs_dir = params.pop("obs", None)
     spec = get_experiment(experiment_id)
     start = time.perf_counter()
-    result = spec.run(**params)
+    if obs_dir is not None:
+        from repro.obs.harness import instrumented_run
+
+        result = instrumented_run(
+            spec.run, params, str(obs_dir), experiment=spec.id
+        )
+    else:
+        result = spec.run(**params)
     elapsed = time.perf_counter() - start
     print(result.table())
     print(f"(elapsed: {elapsed:.1f}s)")
+    if obs_dir is not None:
+        print(f"(telemetry: {obs_dir} — inspect with 'repro obs summarize')")
     if out is not None:
         from repro.analysis.export import write_result
 
@@ -123,6 +135,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         nargs="*",
         help="options: out=REPORT.md quick=1 only=e03,e05",
     )
+    sub.add_parser(
+        "obs",
+        help="inspect run telemetry (summarize / tail / validate)",
+        add_help=False,
+    )
+    # ``repro obs`` owns its own argv tail so its flags (-n, --follow)
+    # never collide with the top-level parser.
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(list(argv[1:]))
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -160,4 +185,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro list | head`); exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

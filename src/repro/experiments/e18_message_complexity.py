@@ -10,6 +10,14 @@ total messages sent until the sorted ring first holds, split into the
 one-time *stabilization work* and the recurring *maintenance rate*
 (messages/round once stable, cf. E8), with power-law fits of the totals.
 
+Since ISSUE 4 the driver runs on the batched engine by default
+(``engine="fast"``; pass ``engine="reference"`` for the original
+per-node path — the two engines are distributionally equivalent, see
+docs/PERF.md) and reports per-type message counts through the shared
+:class:`~repro.obs.registry.MetricsRegistry` pipeline
+(:func:`~repro.obs.sources.fold_message_stats`), so the breakdown in the
+rows is produced by the same metric the live observer scrapes.
+
 Expected shape: totals grow like n^{1+o(1)} · polylog — every node sends
 Θ(1) messages per round for the Θ(polylog…Θ(n^ε)) rounds stabilization
 takes, so the fitted exponent should land a little above 1, far from the
@@ -21,13 +29,56 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.scaling import fit_power
+from repro.core.messages import MessageType
 from repro.core.protocol import ProtocolConfig, build_network
 from repro.experiments.common import ExperimentResult, seed_rng
 from repro.graphs.predicates import is_sorted_ring
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sources import fold_message_stats
 from repro.sim.engine import Simulator
+from repro.sim.fast.engine import FastSimulator
+from repro.sim.fast.predicates import fast_is_sorted_ring
+from repro.sim.metrics import MessageStats
 from repro.topology.generators import TOPOLOGIES
 
 __all__ = ["run"]
+
+#: One trial's observations: (rounds to the sorted ring, the engine's
+#: MessageStats after 10 extra maintenance rounds, messages at
+#: stabilization, maintenance messages/round once stable).
+TrialResult = tuple[int, MessageStats, int, float]
+
+
+def _stabilize_fast(name: str, n: int, trial: int, seed: int) -> TrialResult:
+    """One batched-engine trial."""
+    rng = seed_rng(seed, name, n, trial)
+    sim = FastSimulator.from_states(
+        TOPOLOGIES[name](n, rng), ProtocolConfig(), rng=rng
+    )
+    rounds = sim.run_until(
+        fast_is_sorted_ring, max_rounds=300 * n, what=f"{name} n={n}"
+    )
+    stats = sim.engine.stats
+    before = stats.total
+    sim.run(10)
+    return rounds, stats, before, (stats.total - before) / 10
+
+
+def _stabilize_reference(
+    name: str, n: int, trial: int, seed: int
+) -> TrialResult:
+    """One reference-engine trial."""
+    rng = seed_rng(seed, name, n, trial)
+    net = build_network(TOPOLOGIES[name](n, rng), ProtocolConfig())
+    sim = Simulator(net, rng)
+    rounds = sim.run_until(
+        lambda nw: is_sorted_ring(nw.states()),
+        max_rounds=300 * n,
+        what=f"{name} n={n}",
+    )
+    before = net.stats.total
+    sim.run(10)
+    return rounds, net.stats, before, (net.stats.total - before) / 10
 
 
 def run(
@@ -36,8 +87,14 @@ def run(
     topologies: tuple[str, ...] = ("line", "random_tree", "star"),
     trials: int = 3,
     seed: int = 18,
+    engine: str = "fast",
 ) -> ExperimentResult:
     """One row per (topology, n): messages and rounds to the sorted ring."""
+    if engine not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'fast' or 'reference'"
+        )
+    stabilize = _stabilize_fast if engine == "fast" else _stabilize_reference
     result = ExperimentResult(
         experiment="e18",
         title="Total message complexity of stabilization",
@@ -48,33 +105,45 @@ def run(
             "topologies": topologies,
             "trials": trials,
             "seed": seed,
+            "engine": engine,
         },
     )
+    registry = MetricsRegistry()
     for name in topologies:
         for n in sizes:
             totals, rounds, per_round_stable = [], [], []
             for t in range(trials):
-                rng = seed_rng(seed, name, n, t)
-                net = build_network(TOPOLOGIES[name](n, rng), ProtocolConfig())
-                sim = Simulator(net, rng)
-                r = sim.run_until(
-                    lambda nw: is_sorted_ring(nw.states()),
-                    max_rounds=300 * n,
-                    what=f"{name} n={n}",
-                )
-                totals.append(net.stats.total)
+                r, stats, stab_total, maint = stabilize(name, n, t, seed)
                 rounds.append(r)
-                before = net.stats.total
-                sim.run(10)
-                per_round_stable.append((net.stats.total - before) / 10)
+                totals.append(stab_total)
+                per_round_stable.append(maint)
+                # One fold per trial recorder (counters are cumulative);
+                # the per-type counts land under the same messages_total
+                # metric the live observer scrapes.
+                fold_message_stats(
+                    registry, stats, engine=engine, topology=name, n=n
+                )
+            messages = registry.counter("messages_total")
+            by_type = {
+                mtype.value: int(
+                    messages.value(
+                        engine=engine, topology=name, n=n, type=mtype.value
+                    )
+                )
+                for mtype in MessageType
+            }
             result.rows.append(
                 {
                     "topology": name,
                     "n": n,
+                    "engine": engine,
                     "rounds_mean": float(np.mean(rounds)),
                     "messages_total_mean": float(np.mean(totals)),
                     "msgs_per_node": float(np.mean(totals) / n),
                     "maint_per_node_round": float(np.mean(per_round_stable) / n),
+                    "msgs_by_type": {
+                        k: v for k, v in sorted(by_type.items()) if v
+                    },
                 }
             )
     for name in topologies:

@@ -1,0 +1,141 @@
+"""Pluggable exporters: JSONL event stream and Prometheus text exposition.
+
+An exporter receives every event the :class:`~repro.obs.observer.Observer`
+emits (``emit``) and one final call when the run closes (``finalize``).
+Three ship with the repo:
+
+* :class:`JsonlExporter` — one JSON object per line, flushed per event so
+  ``repro obs tail`` can follow a live run;
+* :class:`PrometheusExporter` — renders the registry as a Prometheus text
+  exposition (``# TYPE``/``# HELP`` + samples) at finalize;
+* :class:`~repro.obs.manifest.ManifestExporter` — writes the per-run
+  ``manifest.json`` at finalize.
+
+All exporters are write-only observers of the telemetry plane: none of
+them may touch simulation state or RNGs (the non-perturbation contract,
+pinned by ``tests/test_obs_nonperturbation.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
+
+__all__ = ["Exporter", "JsonlExporter", "PrometheusExporter", "prometheus_text"]
+
+#: Metric-name prefix used in the Prometheus exposition.
+PROM_PREFIX = "repro_"
+
+
+class Exporter:
+    """Base class: exporters override ``emit`` and/or ``finalize``."""
+
+    def emit(self, event: dict[str, object]) -> None:
+        """Receive one streamed event (already JSON-serializable)."""
+
+    def finalize(self, observer: "Observer") -> None:
+        """The run is closing; write any whole-run artifacts."""
+
+    def close(self) -> None:
+        """Release file handles owned by this exporter."""
+
+
+class JsonlExporter(Exporter):
+    """Streams events as JSON Lines, flushing per event for live tailing."""
+
+    def __init__(
+        self, stream: IO[str], *, flush_every: int = 1, owns_stream: bool = False
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be positive")
+        self.stream = stream
+        self.flush_every = flush_every
+        self.owns_stream = owns_stream
+        self._since_flush = 0
+
+    def emit(self, event: dict[str, object]) -> None:
+        self.stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.stream.flush()
+            self._since_flush = 0
+
+    def finalize(self, observer: "Observer") -> None:
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.owns_stream:
+            self.stream.close()
+
+
+class PrometheusExporter(Exporter):
+    """Writes the final registry state as a Prometheus text exposition."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def finalize(self, observer: "Observer") -> None:
+        text = prometheus_text(observer.registry)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _fmt_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (ints bare)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    """Render a ``{k="v",...}`` label block ('' when empty)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render *registry* as a Prometheus text exposition (format 0.0.4).
+
+    Counter and gauge samples map one-to-one; histograms expand into the
+    conventional ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet with
+    cumulative bucket counts.
+    """
+    lines: list[str] = []
+    for instrument in registry:
+        name = PROM_PREFIX + instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            for labels, value in instrument.samples():
+                lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        elif isinstance(instrument, Histogram):
+            for labels, snap in instrument.series():
+                buckets = snap["buckets"]
+                total = snap["sum"]
+                count = snap["count"]
+                assert isinstance(buckets, list)
+                assert isinstance(total, float) and isinstance(count, int)
+                cumulative = 0
+                for bound, bucket_count in zip(instrument.bounds, buckets):
+                    cumulative += int(bucket_count)
+                    le = _fmt_labels(labels, {"le": _fmt_value(bound)})
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += int(buckets[-1])
+                inf = _fmt_labels(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{inf} {cumulative}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(total)}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,106 @@
+"""Run harness: instrument one registered experiment, uniformly.
+
+:func:`instrumented_run` is what ``repro run <id> obs=DIR`` calls: it
+builds an :class:`~repro.obs.observer.Observer` wired to the standard
+per-run artifact set inside *DIR* —
+
+* ``metrics.jsonl`` — the live event stream (``repro obs tail`` follows
+  it while the run is in flight);
+* ``metrics.prom``  — Prometheus text exposition of the final registry;
+* ``manifest.json`` — the schema-validated run manifest;
+
+activates it ambiently (:mod:`repro.obs.runtime`), runs the driver, and
+finalizes with the driver's :class:`~repro.experiments.common
+.ExperimentResult` folded in as the manifest's ``result`` block.  Every
+experiment in the registry goes through this one code path, which is what
+makes the paper's message-cost and round-count figures come out of the
+same pipeline regardless of driver or engine.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.obs.exporters import JsonlExporter, PrometheusExporter
+from repro.obs.manifest import ManifestExporter
+from repro.obs.observer import Observer
+from repro.obs.runtime import activated
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.common import ExperimentResult
+
+__all__ = ["ARTIFACTS", "instrumented_run", "run_observer"]
+
+#: The uniform per-run artifact set (file names inside the obs dir).
+ARTIFACTS = ("metrics.jsonl", "metrics.prom", "manifest.json")
+
+
+def run_observer(
+    out_dir: str,
+    *,
+    experiment: str = "",
+    params: dict[str, object] | None = None,
+    round_events: bool = True,
+) -> Observer:
+    """Create *out_dir* and an observer writing the standard artifacts.
+
+    The caller owns the observer's lifecycle: run under
+    :func:`~repro.obs.runtime.activated` and call
+    :meth:`~repro.obs.observer.Observer.close` when done (the JSONL
+    stream's file handle is held open for live flushing until then).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    stream = open(  # noqa: SIM115 - lifetime is the whole run, closed by close()
+        os.path.join(out_dir, "metrics.jsonl"), "w", encoding="utf-8"
+    )
+    jsonl = JsonlExporter(stream, owns_stream=True)
+    observer = Observer(
+        experiment=experiment,
+        params=params,
+        exporters=(
+            jsonl,
+            PrometheusExporter(os.path.join(out_dir, "metrics.prom")),
+            ManifestExporter(os.path.join(out_dir, "manifest.json")),
+        ),
+        round_events=round_events,
+    )
+    observer.event(
+        "start",
+        schema="repro.obs/events/v1",
+        experiment=experiment,
+        params=params or {},
+    )
+    return observer
+
+
+def instrumented_run(
+    run: "Callable[..., ExperimentResult]",
+    params: dict[str, object],
+    out_dir: str,
+    *,
+    experiment: str = "",
+) -> "ExperimentResult":
+    """Run one experiment driver under a fully wired observer.
+
+    Writes the :data:`ARTIFACTS` set into *out_dir*; the manifest's
+    ``params`` come from the driver's own :class:`ExperimentResult`
+    (the complete parameter dict, seed included), not just the overrides
+    the caller happened to pass.
+    """
+    observer = run_observer(out_dir, experiment=experiment, params=params)
+    try:
+        with activated(observer):
+            with observer.tracer.span("experiment", experiment=experiment):
+                result = run(**params)
+        observer.params = dict(result.params)
+        observer.result_summary = {
+            "experiment": result.experiment,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+    finally:
+        observer.close()
+    return result

@@ -1,0 +1,103 @@
+"""Registry sources: fold the existing instrumentation into the registry.
+
+The repo grew several special-purpose recorders before `repro.obs`
+existed — :class:`~repro.sim.metrics.MessageStats` (per-type send counts),
+:class:`~repro.sim.trace.Trace` (per-event protocol logs),
+:class:`~repro.sim.metrics.ConvergenceRecorder` (phase first-round
+bookkeeping), and the chaos :class:`~repro.sim.metrics.RecoveryStats`.
+Rather than running them as parallel metric systems, each gets a *source*
+here: a one-shot fold of its accumulated state into the shared
+:class:`~repro.obs.registry.MetricsRegistry` under canonical metric names.
+
+Each fold is **cumulative into counters** — call it exactly once per
+recorder (e.g. once per trial, as E18 does), not per scrape, or the
+counts double.  Gauges (`phase_first_round`, recovery times) overwrite
+and are safe to re-fold.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.metrics import ConvergenceRecorder, MessageStats, RecoveryStats
+from repro.sim.trace import Trace
+
+__all__ = [
+    "fold_convergence",
+    "fold_message_stats",
+    "fold_recovery",
+    "fold_trace",
+]
+
+
+def fold_message_stats(
+    registry: MetricsRegistry, stats: MessageStats, **labels: object
+) -> None:
+    """Fold a :class:`MessageStats` total into ``messages_total``.
+
+    The per-type totals land under the same metric the live engines
+    report through (labels ``type=<wire name>`` plus any caller labels),
+    so offline counts and live counts come out of one pipeline.
+    """
+    counter = registry.counter(
+        "messages_total", "protocol messages sent, by type and engine"
+    )
+    for mtype, count in stats.totals_by_type.items():
+        if count:
+            counter.inc(count, type=mtype.value, **labels)
+
+
+def fold_trace(registry: MetricsRegistry, trace: Trace, **labels: object) -> None:
+    """Fold a protocol :class:`Trace` into ``trace_events_total``."""
+    counter = registry.counter(
+        "trace_events_total", "protocol trace events, by event kind"
+    )
+    kinds: dict[str, int] = {}
+    for event in trace.events:
+        kinds[event.kind.value] = kinds.get(event.kind.value, 0) + 1
+    for kind, count in kinds.items():
+        counter.inc(count, kind=kind, **labels)
+
+
+def fold_convergence(
+    registry: MetricsRegistry, recorder: ConvergenceRecorder, **labels: object
+) -> None:
+    """Fold phase first-rounds and regressions into the registry."""
+    first = registry.gauge(
+        "phase_first_round", "first round at which each phase predicate held"
+    )
+    for phase, round_index in recorder.first_round.items():
+        first.set(round_index, phase=phase, **labels)
+    if recorder.regressions:
+        registry.counter(
+            "phase_regressions_total",
+            "phase predicates observed violated after first holding",
+        ).inc(len(recorder.regressions), **labels)
+
+
+def fold_recovery(
+    registry: MetricsRegistry, recovery: RecoveryStats, **labels: object
+) -> None:
+    """Fold a chaos campaign's burst outcomes into the registry."""
+    bursts = registry.counter(
+        "chaos_bursts_total", "scheduled fault bursts, by outcome"
+    )
+    for burst in recovery.bursts:
+        if burst.reconverge_round is not None:
+            outcome = "reconverged"
+        elif burst.detect_round is not None:
+            outcome = "detected"
+        else:
+            outcome = "unnoticed"
+        bursts.inc(1, label=burst.label, outcome=outcome, **labels)
+    mean_detect = recovery.mean_time_to_detect()
+    if mean_detect is not None:
+        registry.gauge(
+            "chaos_mean_time_to_detect_rounds",
+            "mean rounds from burst start to first monitor violation",
+        ).set(mean_detect, **labels)
+    mean_reconverge = recovery.mean_time_to_reconverge()
+    if mean_reconverge is not None:
+        registry.gauge(
+            "chaos_mean_time_to_reconverge_rounds",
+            "mean rounds from burst end to all-monitors-healthy",
+        ).set(mean_reconverge, **labels)

@@ -1,0 +1,95 @@
+"""Span tracing: coarse-grained timed sections with monotonic clocks.
+
+A :class:`SpanTracer` times named sections of a run — one experiment, one
+trial, one chaos campaign — against a single monotonic epoch
+(:func:`time.perf_counter`), so every span carries a start offset and a
+duration that are comparable across the whole run.  Finished spans are
+handed to an optional sink (the :class:`~repro.obs.observer.Observer`
+streams them as ``span`` JSONL events) and kept in an in-memory list for
+programmatic use.
+
+Spans are for *coarse* structure; the per-round hot loops use the
+allocation-free :class:`~repro.obs.profile.PhaseProfiler` instead
+(docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One finished timed section.
+
+    ``start_s`` is the offset from the tracer's epoch (monotonic seconds);
+    ``duration_s`` the measured wall-clock duration.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (used by the ``span`` JSONL event)."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class SpanTracer:
+    """Times named sections against one shared monotonic epoch."""
+
+    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
+        self.epoch = time.perf_counter()
+        self.sink = sink
+        self.spans: list[Span] = []
+
+    def now(self) -> float:
+        """Monotonic seconds since the tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[None]:
+        """Context manager timing one section; records on exit.
+
+        The span is recorded even when the body raises, so timeouts and
+        failures still leave their timing evidence in the stream.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            self.record(
+                Span(
+                    name=name,
+                    start_s=start - self.epoch,
+                    duration_s=end - start,
+                    labels={k: str(v) for k, v in labels.items()},
+                )
+            )
+
+    def record(self, span: Span) -> None:
+        """Append a finished span and forward it to the sink."""
+        self.spans.append(span)
+        if self.sink is not None:
+            self.sink(span)
+
+    def named(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)

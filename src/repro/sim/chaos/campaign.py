@@ -28,12 +28,17 @@ round 0 is the first round :meth:`ChaosCampaign.run` executes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.obs.runtime import attach_campaign as _obs_attach
 from repro.sim.chaos.monitors import RecoveryMonitor
 from repro.sim.chaos.network import ChaosNetwork
 from repro.sim.chaos.plan import FaultPlan
 from repro.sim.engine import Simulator
 from repro.sim.metrics import BurstRecord, RecoveryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import CampaignHandle
 
 __all__ = ["CampaignEvent", "CampaignTrace", "CampaignResult", "ChaosCampaign"]
 
@@ -154,6 +159,10 @@ class ChaosCampaign:
         self._was_healthy: dict[str, bool] = {
             m.name: True for m in self.monitors
         }
+        #: Telemetry handle when an observer is ambient (repro.obs).  The
+        #: deterministic CampaignTrace stays the source of truth; the
+        #: handle only mirrors events into the metrics/JSONL plane.
+        self._obs: CampaignHandle | None = _obs_attach(self)
 
     # ------------------------------------------------------------------
     def run(
@@ -184,6 +193,7 @@ class ChaosCampaign:
         ]
         partition_round: int | None = None
         executed = 0
+        obs = self._obs
 
         for r in range(rounds):
             # 1. open windows
@@ -193,6 +203,8 @@ class ChaosCampaign:
                 self._burst_of[sf.label] = self.recovery.open_burst(
                     sf.label, sf.window.start, sf.window.stop
                 )
+                if obs is not None:
+                    obs.window(r, sf.label, "open")
             # 2. install the wire chain for this round
             if chaos_net is not None:
                 chaos_net.set_wire_faults(self.plan.active_wire_faults(r))
@@ -200,6 +212,8 @@ class ChaosCampaign:
             for sf in self.plan.firing(r):
                 sf.injector.on_round(self.simulator)
                 self.trace.record(r, "fault", sf.label, sf.injector.describe())
+                if obs is not None:
+                    obs.fault(r, sf.label, sf.injector.describe())
             # 4. one protocol round
             self.simulator.step_round()
             executed = r + 1
@@ -207,6 +221,8 @@ class ChaosCampaign:
             for sf in self.plan.ending(r + 1):
                 sf.injector.on_window_end(self.simulator)
                 self.trace.record(r, "window-close", sf.label)
+                if obs is not None:
+                    obs.window(r, sf.label, "close")
             # 6. observe
             health = self._observe(r)
             all_healthy = all(health.values())
@@ -248,16 +264,20 @@ class ChaosCampaign:
     def _observe(self, round_index: int) -> dict[str, bool]:
         """Evaluate every monitor; record transitions into the trace."""
         health: dict[str, bool] = {}
+        obs = self._obs
         for monitor in self.monitors:
             ok = monitor.healthy(self.simulator.network)
             health[monitor.name] = ok
             if ok != self._was_healthy[monitor.name]:
+                detail = monitor.detail(self.simulator.network)
                 self.trace.record(
                     round_index,
                     "healthy" if ok else "unhealthy",
                     monitor.name,
-                    monitor.detail(self.simulator.network),
+                    detail,
                 )
+                if obs is not None:
+                    obs.monitor_flip(round_index, monitor.name, ok, detail)
             self._was_healthy[monitor.name] = ok
         return health
 
@@ -266,6 +286,7 @@ class ChaosCampaign:
     ) -> None:
         """Fill detect/reconverge rounds of the open burst records."""
         any_unhealthy = any(not ok for ok in health.values())
+        obs = self._obs
         for label, burst in self._burst_of.items():
             if (
                 burst.detect_round is None
@@ -275,6 +296,8 @@ class ChaosCampaign:
             ):
                 burst.detect_round = round_index
                 self.trace.record(round_index, "detect", label)
+                if obs is not None:
+                    obs.burst(round_index, label, "detect")
             if (
                 burst.reconverge_round is None
                 and burst.detect_round is not None
@@ -284,3 +307,5 @@ class ChaosCampaign:
             ):
                 burst.reconverge_round = round_index
                 self.trace.record(round_index, "reconverge", label)
+                if obs is not None:
+                    obs.burst(round_index, label, "reconverge")

@@ -20,14 +20,19 @@ itself, so the same drivers serve both engines (docs/PERF.md).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Mapping
-from typing import Generic, TypeVar
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 import numpy as np
 
+from repro.obs.runtime import attach_simulator as _obs_attach
 from repro.sim.metrics import ConvergenceRecorder
 from repro.sim.network import Network
 from repro.sim.schedulers import Scheduler, SynchronousScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import SimHandle
 
 __all__ = ["BaseSimulator", "Simulator", "StabilizationTimeout"]
 
@@ -62,6 +67,15 @@ class BaseSimulator(Generic[TargetT]):
             self.rng = np.random.default_rng(rng)
         #: Number of completed rounds.
         self.round_index = 0
+        #: Telemetry handle when an observer is ambient (repro.obs).  The
+        #: obs-disabled hot path is a single ``is None`` branch per round;
+        #: concrete drivers attach in their own ``__init__`` (after their
+        #: engine state exists) via :meth:`_attach_observer`.
+        self._obs: SimHandle | None = None
+
+    def _attach_observer(self) -> None:
+        """Register with the ambient observer, if one is active."""
+        self._obs = _obs_attach(self)
 
     @property
     def predicate_target(self) -> TargetT:
@@ -184,6 +198,7 @@ class Simulator(BaseSimulator[Network]):
         super().__init__(rng)
         self.network = network
         self.scheduler: Scheduler = scheduler or SynchronousScheduler()
+        self._attach_observer()
 
     @property
     def predicate_target(self) -> Network:
@@ -192,6 +207,20 @@ class Simulator(BaseSimulator[Network]):
 
     def step_round(self) -> None:
         """Execute exactly one round."""
+        obs = self._obs
+        if obs is None:
+            self.scheduler.execute_round(self.network, self.rng)
+            self.network.stats.end_round()
+            self.round_index += 1
+            return
+        start = time.perf_counter()
         self.scheduler.execute_round(self.network, self.rng)
-        self.network.stats.end_round()
+        counts = self.network.stats.end_round()
         self.round_index += 1
+        obs.round_end(
+            self.round_index,
+            time.perf_counter() - start,
+            counts,
+            self.network.pending_total(),
+            len(self.network),
+        )

@@ -28,6 +28,7 @@ both (docs/PERF.md).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
@@ -45,6 +46,7 @@ from repro.sim.fast.buffers import (
     RESRING,
     RING,
     Outbox,
+    RoundInbox,
     build_inbox,
 )
 from repro.sim.fast.kernels import Kernels
@@ -53,8 +55,20 @@ from repro.sim.metrics import MessageStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.messages import Message
+    from repro.obs.profile import PhaseProfiler
 
-__all__ = ["FastEngine"]
+__all__ = ["FastEngine", "KERNEL_NAMES"]
+
+#: Kernel name per message-type code (profiling labels, docs/PERF.md).
+KERNEL_NAMES = (
+    "linearize",  # LIN
+    "respond_lrl",  # INCLRL
+    "move_forget",  # RESLRL
+    "respond_ring",  # RING
+    "update_ring",  # RESRING
+    "probing_r",  # PROBR
+    "probing_l",  # PROBL
+)
 
 
 class FastEngine:
@@ -82,20 +96,26 @@ class FastEngine:
         self.kernels = Kernels(self.soa, self.outbox, cfg)
         #: Messages sent to identifiers that no longer exist (dropped).
         self.dropped = 0
+        #: Per-kernel profiler, installed by an ambient observer
+        #: (repro.obs); ``None`` keeps the round on the untimed path.
+        self.profiler: PhaseProfiler | None = None
 
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
     def execute_round(self, rng: np.random.Generator) -> None:
         """Advance the network by one synchronous round."""
+        profiler = self.profiler
+        t0 = time.perf_counter() if profiler is not None else 0.0
         inbox, dropped = build_inbox(
             self.outbox.take_all(),
             self.soa.lookup,
             rng,
             dedup=self.dedup,
         )
+        if profiler is not None:
+            profiler.add("flush", time.perf_counter() - t0)
         self.dropped += dropped
-        k = self.kernels
         if inbox is not None:
             # Group rows by (wave, type): ascending waves preserve each
             # node's sequential receive order; within a wave destinations
@@ -110,25 +130,48 @@ class FastEngine:
             for lo, hi in zip(starts, ends):
                 rows = order[lo:hi]
                 code = int(sorted_keys[lo] & 7)
-                idx = inbox.dest_idx[rows]
-                a = inbox.a[rows]
-                if code == LIN:
-                    k.linearize(idx, a)
-                elif code == INCLRL:
-                    k.respond_lrl(idx, a)
-                elif code == RESLRL:
-                    k.move_forget(idx, a, inbox.b[rows], inbox.c[rows], rng)
-                elif code == RING:
-                    k.respond_ring(idx, a)
-                elif code == RESRING:
-                    k.update_ring(idx, a)
-                elif code == PROBR:
-                    k.probing_r(idx, a)
+                if profiler is None:
+                    self._dispatch(code, inbox, rows, rng)
                 else:
-                    k.probing_l(idx, a)
+                    t1 = time.perf_counter()
+                    self._dispatch(code, inbox, rows, rng)
+                    profiler.add(
+                        KERNEL_NAMES[code],
+                        time.perf_counter() - t1,
+                        calls=len(rows),
+                    )
+        t2 = time.perf_counter() if profiler is not None else 0.0
         _, live_idx = self.soa.sorted_live()
-        k.regular_action(live_idx, rng)
+        self.kernels.regular_action(live_idx, rng)
         self.outbox.flush_stats()
+        if profiler is not None:
+            profiler.add("regular", time.perf_counter() - t2, calls=len(live_idx))
+
+    def _dispatch(
+        self,
+        code: int,
+        inbox: RoundInbox,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Run one conflict-free wave group through its kernel."""
+        k = self.kernels
+        idx = inbox.dest_idx[rows]
+        a = inbox.a[rows]
+        if code == LIN:
+            k.linearize(idx, a)
+        elif code == INCLRL:
+            k.respond_lrl(idx, a)
+        elif code == RESLRL:
+            k.move_forget(idx, a, inbox.b[rows], inbox.c[rows], rng)
+        elif code == RING:
+            k.respond_ring(idx, a)
+        elif code == RESRING:
+            k.update_ring(idx, a)
+        elif code == PROBR:
+            k.probing_r(idx, a)
+        else:
+            k.probing_l(idx, a)
 
     # ------------------------------------------------------------------
     # Membership / churn (round boundaries only)

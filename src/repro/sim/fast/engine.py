@@ -10,6 +10,7 @@ the engine instead of a :class:`~repro.sim.network.Network`
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
@@ -50,6 +51,7 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
     ) -> None:
         super().__init__(rng)
         self.engine = engine
+        self._attach_observer()
 
     @classmethod
     def from_states(
@@ -90,9 +92,23 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
 
     def step_round(self) -> None:
         """Execute exactly one round."""
+        obs = self._obs
+        if obs is None:
+            self.engine.execute_round(self.rng)
+            self.engine.stats.end_round()
+            self.round_index += 1
+            return
+        start = time.perf_counter()
         self.engine.execute_round(self.rng)
-        self.engine.stats.end_round()
+        counts = self.engine.stats.end_round()
         self.round_index += 1
+        obs.round_end(
+            self.round_index,
+            time.perf_counter() - start,
+            counts,
+            self.engine.pending_total(),
+            len(self.engine),
+        )
 
     def state_snapshot(self) -> dict[float, StateTuple]:
         """Canonical per-node snapshot (differential-harness contract)."""

@@ -30,6 +30,7 @@ there.
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING
 
@@ -54,6 +55,7 @@ from repro.sim.metrics import MessageStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.messages import Message
+    from repro.obs.profile import PhaseProfiler
 
 __all__ = ["MirrorEngine"]
 
@@ -89,6 +91,9 @@ class MirrorEngine:
         self.stats = MessageStats(keep_history=keep_history)
         #: Messages sent to identifiers that no longer exist (dropped).
         self.dropped = 0
+        #: Coarse phase profiler, installed by an ambient observer
+        #: (repro.obs); ``None`` keeps the round on the untimed path.
+        self.profiler: PhaseProfiler | None = None
         self._staging: list[tuple[float, MirrorMessage]] = []
         self._channels: dict[float, list[MirrorMessage]] = {
             nid: [] for nid in self.soa.live_ids_list()
@@ -132,17 +137,26 @@ class MirrorEngine:
         after_node: AfterNodeHook | None = None,
     ) -> None:
         """One synchronous round, draw-for-draw like the reference."""
+        profiler = self.profiler
+        t0 = time.perf_counter() if profiler is not None else 0.0
         self.flush()
+        if profiler is not None:
+            profiler.add("flush", time.perf_counter() - t0)
         ids = self.soa.live_ids_list()
         if not ids:
             return
         order = rng.permutation(len(ids))
+        receive = 0.0
+        regular = 0.0
+        received = 0
+        acted = 0
         for pos in order:
             nid = ids[pos]
             if nid in self.soa:
                 i = self.soa.index_of(nid)
                 assert i is not None
                 msgs = self._channels[nid]
+                t1 = time.perf_counter() if profiler is not None else 0.0
                 if msgs:
                     self._channels[nid] = []
                     if self._sets is not None:
@@ -152,9 +166,20 @@ class MirrorEngine:
                         msgs = [msgs[j] for j in perm]
                     for msg in msgs:
                         self._on_message(i, msg, rng)
-                self._regular_action(i)
+                if profiler is not None:
+                    t2 = time.perf_counter()
+                    receive += t2 - t1
+                    received += len(msgs)
+                    self._regular_action(i)
+                    regular += time.perf_counter() - t2
+                    acted += 1
+                else:
+                    self._regular_action(i)
             if after_node is not None:
                 after_node(int(pos), nid)
+        if profiler is not None:
+            profiler.add("receive", receive, calls=received)
+            profiler.add("regular", regular, calls=acted)
 
     # ------------------------------------------------------------------
     # Membership / churn

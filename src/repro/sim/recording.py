@@ -11,6 +11,7 @@ the predicate flipped?"), and exact replay of initial configurations via
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from typing import IO, TYPE_CHECKING
 
 from repro.sim.engine import Simulator
@@ -45,6 +46,9 @@ class RunRecorder:
         self.snapshots.append(entry)
         if self.stream is not None:
             self.stream.write(json.dumps(entry) + "\n")
+            # Flush per snapshot so a live transcript can be tailed
+            # (``repro obs tail``) while the run is still in flight.
+            self.stream.flush()
         return entry
 
     def run_recorded(self, rounds: int, *, every: int = 1) -> None:
@@ -67,6 +71,10 @@ class RunRecorder:
         return states_from_json(json.dumps(entry["states"]))
 
 
-def load_transcript(lines: list[str]) -> list[dict[str, object]]:
-    """Parse a JSONL transcript back into snapshot dicts."""
+def load_transcript(lines: Iterable[str]) -> list[dict[str, object]]:
+    """Parse a JSONL transcript back into snapshot dicts.
+
+    Accepts any iterable of lines — a list, an open file handle, or a
+    live tail of a stream the recorder is still flushing into.
+    """
     return [json.loads(line) for line in lines if line.strip()]

@@ -26,11 +26,15 @@ work a synchronous round performs), which makes round counts comparable.
 
 from __future__ import annotations
 
-from typing import Protocol
+import time
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
 from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import PhaseProfiler
 
 __all__ = ["Scheduler", "SynchronousScheduler", "AsyncScheduler"]
 
@@ -56,8 +60,16 @@ class SynchronousScheduler:
 
     def __init__(self, *, regular_actions: bool = True) -> None:
         self.regular_actions = regular_actions
+        #: Hot-loop phase profiler, installed by an ambient observer
+        #: (repro.obs).  ``None`` — the default — keeps the round loop on
+        #: the untimed fast path below.
+        self.profiler: PhaseProfiler | None = None
 
     def execute_round(self, network: Network, rng: np.random.Generator) -> None:
+        profiler = self.profiler
+        if profiler is not None:
+            self._execute_round_profiled(network, rng, profiler)
+            return
         # Messages staged in the previous round become receivable now.
         network.flush()
         ids = network.ids
@@ -74,6 +86,49 @@ class SynchronousScheduler:
                 node.on_message(message, send, rng)
             if self.regular_actions:
                 node.regular_action(send, rng)
+
+    def _execute_round_profiled(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        profiler: "PhaseProfiler",
+    ) -> None:
+        """The same round, with per-phase wall-clock accounting.
+
+        Identical protocol behavior and RNG draw sequence to the untimed
+        path (pinned by tests/test_obs_nonperturbation.py); the only
+        additions are ``perf_counter`` reads around the flush and around
+        each node's receive/act sections.
+        """
+        t0 = time.perf_counter()
+        network.flush()
+        profiler.add("flush", time.perf_counter() - t0)
+        ids = network.ids
+        if not ids:
+            return
+        order = rng.permutation(len(ids))
+        receive = 0.0
+        regular = 0.0
+        received = 0
+        acted = 0
+        for i in order:
+            nid = ids[i]
+            if nid not in network:
+                continue  # removed mid-round by a churn hook
+            node = network.node(nid)
+            send = network.sender(nid)
+            t1 = time.perf_counter()
+            for message in network.channel(nid).drain(rng):
+                node.on_message(message, send, rng)
+                received += 1
+            t2 = time.perf_counter()
+            receive += t2 - t1
+            if self.regular_actions:
+                node.regular_action(send, rng)
+                regular += time.perf_counter() - t2
+                acted += 1
+        profiler.add("receive", receive, calls=received)
+        profiler.add("regular", regular, calls=acted)
 
 
 class AsyncScheduler:

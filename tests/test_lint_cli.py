@@ -65,15 +65,17 @@ def test_ignore_drops_named_rules(capsys):
     assert rc == 0
 
 
-def test_strict_promotes_warnings(capsys):
-    # broad-except is the catalogue's advisory rule (silent-except was
-    # ratcheted to error); --strict promotes its warning to a failure.
+def test_broad_except_fails_without_strict(capsys):
+    # broad-except held the catalogue's advisory slot until ISSUE 4
+    # ratcheted it to error: it now fails the build on its own, and
+    # --strict (whose warning-promotion semantics are pinned by
+    # test_exit_code_semantics) cannot change the outcome.
     args = [
         "--select",
         "broad-except",
         str(FIXTURES / "bad_hygiene.py"),
     ]
-    assert main(args) == 0
+    assert main(args) == 1
     assert main(["--strict", *args]) == 1
     capsys.readouterr()
 

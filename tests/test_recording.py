@@ -81,3 +81,36 @@ class TestRunRecorder:
             rec.run_recorded(-1)
         with pytest.raises(ValueError):
             rec.run_recorded(3, every=0)
+
+    def test_stream_flushed_per_snapshot(self):
+        """Each snapshot reaches the stream immediately (live tailing)."""
+
+        class CountingStream(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        sim = make_sim()
+        stream = CountingStream()
+        rec = RunRecorder(sim, stream=stream)
+        rec.snapshot("one")
+        assert stream.flushes == 1
+        # The written line is already complete, parseable JSONL.
+        assert load_transcript(stream.getvalue().splitlines())[0]["label"] == "one"
+        rec.snapshot("two")
+        assert stream.flushes == 2
+
+    def test_load_transcript_accepts_any_iterable(self):
+        """A live file handle or generator works, not just a list."""
+        sim = make_sim()
+        buffer = io.StringIO()
+        rec = RunRecorder(sim, stream=buffer)
+        rec.run_recorded(2)
+        lines = buffer.getvalue().splitlines()
+        from_generator = load_transcript(line for line in lines)
+        from_handle = load_transcript(io.StringIO(buffer.getvalue()))
+        assert from_generator == from_handle == load_transcript(lines)
