@@ -53,6 +53,22 @@ OBS_REPEATS = 5
 OBS_FAST_N, OBS_FAST_ROUNDS = 512, 300
 OBS_REF_N, OBS_REF_ROUNDS = 192, 80
 
+#: Chaos-at-scale gate (docs/CHAOS.md "Faults at scale"): a fixed-round
+#: guarded loss-burst campaign at n=2048 on the vectorized chaos engine
+#: must beat the reference ChaosNetwork by at least ``CHAOS_MIN_SPEEDUP``
+#: wall-clock.  An absolute floor, not a baseline ratio: the batched wire
+#: was built to make fault injection usable at E22 sizes, and 5x is the
+#: point below which the port stops paying for its complexity.  The
+#: reference leg takes ~15s, so this is the slowest gate; ``--skip-chaos``
+#: drops it for quick local runs.
+CHAOS_N = 2048
+CHAOS_ROUNDS = 40
+CHAOS_LOSS = 0.2
+CHAOS_BURST_STOP = 30
+CHAOS_SEED = 77
+CHAOS_MIN_SPEEDUP = 5.0
+CHAOS_BENCH = pathlib.Path(__file__).parent.parent / "BENCH_chaos_scale.json"
+
 
 def _workload_states():
     from repro.topology.generators import TOPOLOGIES
@@ -177,6 +193,105 @@ def measure_obs_overhead() -> dict[str, float]:
     }
 
 
+def _chaos_plan():
+    from repro.sim.chaos.injectors import MessageLoss
+    from repro.sim.chaos.plan import FaultPlan
+
+    return FaultPlan(seed=CHAOS_SEED).schedule(
+        MessageLoss(rate=CHAOS_LOSS),
+        start=0,
+        stop=CHAOS_BURST_STOP,
+        label="loss-burst",
+    )
+
+
+def _chaos_states():
+    from repro.topology.generators import TOPOLOGIES
+
+    return TOPOLOGIES["random_tree"](CHAOS_N, np.random.default_rng(CHAOS_SEED))
+
+
+def _time_chaos_reference(states) -> float:
+    from repro.core.protocol import ProtocolConfig, build_network
+    from repro.sim.chaos.guard import GuardPolicy
+    from repro.sim.chaos.network import ChaosNetwork
+    from repro.sim.engine import Simulator
+
+    net = build_network(
+        [s.copy() for s in states],
+        ProtocolConfig(),
+        network_cls=ChaosNetwork,
+        guard=GuardPolicy(),
+    )
+    sim = Simulator(net, rng=np.random.default_rng(CHAOS_SEED + 1))
+    plan = _chaos_plan()
+    start = time.perf_counter()
+    for r in range(CHAOS_ROUNDS):
+        net.set_wire_faults(plan.active_wire_faults(r))
+        sim.step_round()
+    return time.perf_counter() - start
+
+
+def _time_chaos_fast(states) -> float:
+    from repro.core.protocol import ProtocolConfig
+    from repro.sim.chaos.guard import GuardPolicy
+    from repro.sim.fast import FastSimulator
+
+    sim = FastSimulator.from_states(
+        [s.copy() for s in states],
+        ProtocolConfig(),
+        mode="chaos",
+        guard=GuardPolicy(),
+        rng=np.random.default_rng(CHAOS_SEED + 1),
+    )
+    plan = _chaos_plan()
+    start = time.perf_counter()
+    for r in range(CHAOS_ROUNDS):
+        sim.engine.set_wire_faults(plan.active_wire_faults(r))
+        sim.step_round()
+    return time.perf_counter() - start
+
+
+def measure_chaos() -> dict[str, float]:
+    """Identical guarded loss-burst campaign on both chaos transports.
+
+    Best-of-``REPEATS`` for the fast engine; a single reference run (its
+    leg dominates the gate's wall clock, and at ~15s one run is already
+    far from the noise floor).
+    """
+    states = _chaos_states()
+    fast = min(_time_chaos_fast(states) for _ in range(REPEATS))
+    ref = _time_chaos_reference(states)
+    return {
+        "ref_chaos_seconds": round(ref, 4),
+        "fast_chaos_seconds": round(fast, 4),
+        "chaos_speedup": round(ref / fast, 1),
+    }
+
+
+def record_chaos_bench(result: dict[str, float]) -> None:
+    """Machine-stamp the measured speedup into ``BENCH_chaos_scale.json``."""
+    import platform
+
+    entry = {
+        "bench": "chaos_scale",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "gate": f"reference/fast speedup >= {CHAOS_MIN_SPEEDUP}",
+        "workload": {
+            "n": CHAOS_N,
+            "rounds": CHAOS_ROUNDS,
+            "topology": "random_tree",
+            "loss_rate": CHAOS_LOSS,
+            "burst_stop": CHAOS_BURST_STOP,
+            "guard": True,
+            "seed": CHAOS_SEED,
+        },
+        **result,
+    }
+    CHAOS_BENCH.write_text(json.dumps([entry], indent=2) + "\n")
+
+
 def record_obs_bench(result: dict[str, float]) -> None:
     """Machine-stamp the measured overhead into ``BENCH_obs_overhead.json``."""
     import platform
@@ -207,7 +322,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the obs-disabled overhead gate (engine-ratio gate only)",
     )
+    parser.add_argument(
+        "--skip-chaos",
+        action="store_true",
+        help="skip the chaos-at-scale speedup gate (its reference leg is "
+        "the slowest part of the smoke)",
+    )
     args = parser.parse_args(argv)
+
+    chaos_failed = False
+    if not args.skip_chaos:
+        chaos = measure_chaos()
+        print(
+            f"perf-smoke[chaos]: n={CHAOS_N} "
+            f"reference={chaos['ref_chaos_seconds']}s "
+            f"fast={chaos['fast_chaos_seconds']}s "
+            f"speedup={chaos['chaos_speedup']}x "
+            f"(floor {CHAOS_MIN_SPEEDUP}x)"
+        )
+        chaos_failed = chaos["chaos_speedup"] < CHAOS_MIN_SPEEDUP
+        if chaos_failed:
+            print(
+                "perf-smoke[chaos]: the vectorized chaos engine no longer "
+                f"beats the reference ChaosNetwork {CHAOS_MIN_SPEEDUP}x on "
+                "the guarded loss-burst workload; the batched wire has a "
+                "scalar bottleneck (docs/CHAOS.md)"
+            )
+        if args.record:
+            record_chaos_bench(chaos)
+            print(f"perf-smoke[chaos]: recorded to {CHAOS_BENCH}")
 
     obs_failed = False
     if not args.skip_obs:
@@ -242,7 +385,7 @@ def main(argv: list[str] | None = None) -> int:
             + "\n"
         )
         print(f"perf-smoke: baseline recorded to {BASELINE}")
-        return 1 if obs_failed else 0
+        return 1 if (obs_failed or chaos_failed) else 0
 
     if not BASELINE.exists():
         print("perf-smoke: no baseline recorded; run with --record first")
@@ -266,7 +409,7 @@ def main(argv: list[str] | None = None) -> int:
             "perf-smoke: ratio improved well past the baseline — consider "
             "re-recording with --record"
         )
-    return 1 if obs_failed else 0
+    return 1 if (obs_failed or chaos_failed) else 0
 
 
 if __name__ == "__main__":

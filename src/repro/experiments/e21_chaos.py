@@ -37,9 +37,13 @@ from repro.sim.chaos.monitors import (
 from repro.sim.chaos.network import ChaosNetwork
 from repro.sim.chaos.plan import FaultPlan
 from repro.sim.engine import Simulator
+from repro.sim.fast import ChaosFastEngine, FastSimulator
 from repro.topology.generators import random_tree_topology
 
 __all__ = ["run", "run_campaign"]
+
+#: The transport a campaign ran on — what carries stats/guard counters.
+ChaosHost = ChaosNetwork | ChaosFastEngine
 
 
 def run_campaign(
@@ -50,21 +54,44 @@ def run_campaign(
     burst_stop: int,
     rounds: int,
     guard: bool,
-) -> tuple[ChaosNetwork, CampaignResult]:
+    engine: str = "reference",
+) -> tuple["ChaosHost", CampaignResult]:
     """One fixed-seed campaign; baseline and guarded runs share everything
     (initial configuration, fault plan, simulator seed) except the
     transport, so outcome differences are attributable to the guard alone.
+
+    ``engine="fast"`` runs the same campaign on the vectorized chaos
+    engine (:mod:`repro.sim.fast.chaos`); same plan DSL, same monitors,
+    same trace format — recovery metrics are distributionally comparable
+    to the reference (docs/CHAOS.md).
     """
     rng = seed_rng("e21", campaign_seed, n)
     states = random_tree_topology(n, rng)
-    network = build_network(
-        states,
-        ProtocolConfig(),
-        network_cls=ChaosNetwork,
-        guard=GuardPolicy() if guard else None,
-    )
-    assert isinstance(network, ChaosNetwork)
-    simulator = Simulator(network, rng)
+    simulator: Simulator | FastSimulator
+    host: "ChaosHost"
+    if engine == "reference":
+        network = build_network(
+            states,
+            ProtocolConfig(),
+            network_cls=ChaosNetwork,
+            guard=GuardPolicy() if guard else None,
+        )
+        assert isinstance(network, ChaosNetwork)
+        simulator = Simulator(network, rng)
+        host = network
+    elif engine == "fast":
+        simulator = FastSimulator.from_states(
+            states,
+            ProtocolConfig(),
+            mode="chaos",
+            guard=GuardPolicy() if guard else None,
+            rng=rng,
+        )
+        host = simulator.engine  # type: ignore[assignment]
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'reference' or 'fast'"
+        )
     plan = FaultPlan(seed=campaign_seed).schedule(
         MessageLoss(rate=loss_rate), start=0, stop=burst_stop, label="loss-burst"
     )
@@ -77,7 +104,7 @@ def run_campaign(
     # A permanent partition cannot heal, so there is nothing to learn from
     # the remaining rounds.
     result = campaign.run(rounds, stop_on_partition=True)
-    return network, result
+    return host, result
 
 
 def run(
@@ -88,6 +115,7 @@ def run(
     rounds: int = 200,
     campaign_seeds: tuple[int, ...] = (0, 1, 2, 3),
     seed: int = 21,
+    engine: str = "reference",
 ) -> ExperimentResult:
     """One row per (campaign seed, transport): outcome and recovery times."""
     result = ExperimentResult(
@@ -103,6 +131,7 @@ def run(
             "rounds": rounds,
             "campaign_seeds": campaign_seeds,
             "seed": seed,
+            "engine": engine,
         },
     )
     baseline_splits = 0
@@ -117,6 +146,7 @@ def run(
                 burst_stop=burst_stop,
                 rounds=rounds,
                 guard=guard,
+                engine=engine,
             )
             burst = campaign.recovery.bursts[0]
             split = campaign.partition_round is not None

@@ -52,6 +52,34 @@ def converged_lrl_ranks(sim: FastSimulator) -> np.ndarray:
     return ranks
 
 
+def _stabilize_faulted(
+    sim: FastSimulator,
+    *,
+    loss_rate: float,
+    burst_stop: int,
+    plan_seed: int,
+    max_rounds: int,
+) -> int:
+    """Drive a chaos fast simulator through a loss burst to the sorted
+    ring; returns the convergence round (or ``max_rounds``)."""
+    from repro.sim.chaos.injectors import MessageLoss
+    from repro.sim.chaos.plan import FaultPlan
+
+    engine = sim.engine
+    plan = FaultPlan(seed=plan_seed).schedule(
+        MessageLoss(rate=loss_rate), start=0, stop=burst_stop, label="loss-burst"
+    )
+    for r in range(max_rounds):
+        engine.set_wire_faults(plan.active_wire_faults(r))
+        sim.step_round()
+        # The ring cannot settle while frames are still being dropped, so
+        # only poll the predicate once the burst window has closed.
+        if r + 1 >= burst_stop and (r + 1) % 8 == 0:
+            if fast_is_sorted_ring(engine):
+                return r + 1
+    return max_rounds
+
+
 def run(
     *,
     sizes: tuple[int, ...] = (2048, 8192, 49152),
@@ -60,12 +88,22 @@ def run(
     reference_max_n: int = 2048,
     seed: int = 7,
     max_rounds_factor: int = 60,
+    loss_rate: float = 0.0,
+    burst_stop: int = 60,
 ) -> ExperimentResult:
     """Run the scale sweep; one row per size.
 
     ``reference_max_n`` caps the sizes at which the reference engine is
     also run (it needs minutes per round in the tens of thousands); the
     speedup column is blank above the cap.
+
+    ``loss_rate > 0`` switches to the **faulted variant**: cold
+    convergence through a message-loss burst (rounds ``[0, burst_stop)``)
+    on the vectorized chaos engine with the guarded-handoff transport
+    (:mod:`repro.sim.fast.chaos`, docs/CHAOS.md).  The reference engine is
+    skipped — at these sizes the scalar chaos wire needs minutes per
+    round — so the speedup columns are blank and guard-overhead columns
+    appear instead.
     """
     result = ExperimentResult(
         experiment="e22",
@@ -79,29 +117,53 @@ def run(
             "queries": queries,
             "reference_max_n": reference_max_n,
             "seed": seed,
+            "loss_rate": loss_rate,
         },
     )
+    if loss_rate:
+        result.params["burst_stop"] = burst_stop
     factory = TOPOLOGIES[topology]
     config = ProtocolConfig()
     for n in sizes:
         states = factory(n, seed_rng(seed, topology, n))
         max_rounds = max_rounds_factor * max(int(np.log2(n)) ** 2, 1)
 
-        fast = FastSimulator.from_states(
-            [s.copy() for s in states], config, rng=seed_rng(seed, "fast", n)
-        )
-        t0 = time.perf_counter()
-        fast_rounds = fast.run_until(
-            fast_is_sorted_ring,
-            max_rounds=max_rounds,
-            check_every=8,
-            what="sorted ring (batched)",
-        )
+        if loss_rate:
+            from repro.sim.chaos.guard import GuardPolicy
+
+            fast = FastSimulator.from_states(
+                [s.copy() for s in states],
+                config,
+                mode="chaos",
+                guard=GuardPolicy(),
+                rng=seed_rng(seed, "fast", n),
+            )
+            t0 = time.perf_counter()
+            fast_rounds = _stabilize_faulted(
+                fast,
+                loss_rate=loss_rate,
+                burst_stop=burst_stop,
+                plan_seed=seed,
+                max_rounds=max_rounds,
+            )
+        else:
+            fast = FastSimulator.from_states(
+                [s.copy() for s in states],
+                config,
+                rng=seed_rng(seed, "fast", n),
+            )
+            t0 = time.perf_counter()
+            fast_rounds = fast.run_until(
+                fast_is_sorted_ring,
+                max_rounds=max_rounds,
+                check_every=8,
+                what="sorted ring (batched)",
+            )
         fast_seconds = time.perf_counter() - t0
 
         ref_seconds = None
         ref_rounds = None
-        if n <= reference_max_n:
+        if n <= reference_max_n and not loss_rate:
             net = build_network([s.copy() for s in states], config)
             reference = Simulator(net, rng=seed_rng(seed, "ref", n))
             t0 = time.perf_counter()
@@ -143,9 +205,20 @@ def run(
             "ring_hops": round(ring_hops, 2),
             "ln2_n": round(float(np.log(n) ** 2), 1),
         }
+        if loss_rate:
+            guard_stats = fast.engine.guard.stats
+            row["overhead_frames"] = guard_stats.overhead_frames()
+            row["abandoned"] = guard_stats.abandoned
         result.rows.append(row)
 
     measured = [r for r in result.rows if r["speedup"] != ""]
+    if loss_rate:
+        worst = max(int(str(r["abandoned"])) for r in result.rows)
+        result.note(
+            f"faulted variant: loss_rate={loss_rate} for rounds "
+            f"[0, {burst_stop}) on the guarded vectorized chaos engine - "
+            f"every size converged with {worst} abandoned handoffs"
+        )
     if measured:
         best = max(float(str(r["speedup"])) for r in measured)
         result.note(

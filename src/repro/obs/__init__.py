@@ -8,7 +8,9 @@ the chaos subsystem, and every registered experiment:
 * :mod:`repro.obs.spans` — span tracing on a monotonic clock;
 * :mod:`repro.obs.profile` — hot-loop phase/kernel profilers + peak RSS;
 * :mod:`repro.obs.exporters` / :mod:`repro.obs.manifest` — JSONL event
-  stream, Prometheus text exposition, schema-validated run manifests;
+  stream, Prometheus text exposition, schema-validated run manifests
+  (:mod:`repro.obs.bench` re-expresses pytest-benchmark archives in the
+  same manifest schema);
 * :mod:`repro.obs.observer` / :mod:`repro.obs.runtime` — the per-run
   :class:`Observer` hub and its ambient activation;
 * :mod:`repro.obs.sources` — folds for the pre-existing recorders
@@ -42,6 +44,8 @@ _EXPORTS: dict[str, str] = {
     "PrometheusExporter": "repro.obs.exporters",
     "prometheus_text": "repro.obs.exporters",
     "MANIFEST_SCHEMA": "repro.obs.manifest",
+    "manifest_from_benchmark_json": "repro.obs.bench",
+    "write_benchmark_manifest": "repro.obs.bench",
     "ManifestExporter": "repro.obs.manifest",
     "build_manifest": "repro.obs.manifest",
     "validate_manifest": "repro.obs.manifest",

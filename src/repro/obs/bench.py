@@ -1,0 +1,175 @@
+"""pytest-benchmark results → ``repro.obs`` run manifests.
+
+``pytest --benchmark-json=out.json`` archives raw timing distributions in
+pytest-benchmark's own schema.  This module re-expresses such a file as a
+standard ``repro.obs/manifest/v1`` manifest (:mod:`repro.obs.manifest`),
+so benchmark archives live in the same validated format as experiment
+runs — one ``repro obs validate`` pass covers both, and downstream
+tooling reads one shape.
+
+Mapping:
+
+* each benchmark's timing stats become samples of the
+  ``benchmark_seconds`` gauge, labelled by benchmark name and stat
+  (``min``/``max``/``mean``/``median``/``stddev``);
+* rounds and iterations become the ``benchmark_rounds`` /
+  ``benchmark_iterations`` counters;
+* machine/commit metadata fills the environment fields (``git_rev``,
+  ``python``, ``platform``, ``started_unix``);
+* summed benchmark time becomes ``duration_s``; per-group totals land in
+  ``result``.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from typing import Any
+
+from repro.obs.manifest import MANIFEST_SCHEMA, git_revision, validate_manifest
+
+__all__ = ["manifest_from_benchmark_json", "write_benchmark_manifest"]
+
+#: The timing stats exported per benchmark, in sample order.
+_STATS = ("min", "max", "mean", "median", "stddev")
+
+
+def _started_unix(data: dict[str, Any]) -> float:
+    stamp = data.get("datetime")
+    if isinstance(stamp, str):
+        try:
+            return datetime.fromisoformat(stamp).timestamp()
+        except ValueError:
+            return 0.0  # malformed stamp: keep the manifest writable
+    return 0.0
+
+
+def _gauge_samples(benchmarks: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    samples = []
+    for bench in benchmarks:
+        stats = bench.get("stats", {})
+        for stat in _STATS:
+            value = stats.get(stat)
+            if isinstance(value, (int, float)):
+                samples.append(
+                    {
+                        "labels": {
+                            "benchmark": str(bench.get("name", "")),
+                            "group": str(bench.get("group") or ""),
+                            "stat": stat,
+                        },
+                        "value": float(value),
+                    }
+                )
+    return samples
+
+
+def _counter_samples(
+    benchmarks: list[dict[str, Any]], field: str
+) -> list[dict[str, Any]]:
+    samples = []
+    for bench in benchmarks:
+        value = bench.get("stats", {}).get(field)
+        if isinstance(value, (int, float)):
+            samples.append(
+                {
+                    "labels": {"benchmark": str(bench.get("name", ""))},
+                    "value": float(value),
+                }
+            )
+    return samples
+
+
+def manifest_from_benchmark_json(
+    data: dict[str, Any], *, experiment: str = "benchmarks"
+) -> dict[str, Any]:
+    """Build a ``repro.obs/manifest/v1`` dict from a loaded
+    ``--benchmark-json`` document.
+
+    The result is guaranteed to satisfy
+    :func:`repro.obs.manifest.validate_manifest`; a document without a
+    ``benchmarks`` list raises ``ValueError`` (an empty list is a legal,
+    empty run).
+    """
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(
+            "not a pytest-benchmark JSON document: no 'benchmarks' list"
+        )
+    machine = data.get("machine_info") or {}
+    commit = data.get("commit_info") or {}
+    git_rev = commit.get("id")
+    if not isinstance(git_rev, str):
+        git_rev = git_revision()
+    metrics: dict[str, Any] = {
+        "benchmark_seconds": {
+            "kind": "gauge",
+            "help": "per-benchmark wall-clock timing stats, in seconds",
+            "samples": _gauge_samples(benchmarks),
+        },
+        "benchmark_rounds": {
+            "kind": "counter",
+            "help": "timing rounds executed per benchmark",
+            "samples": _counter_samples(benchmarks, "rounds"),
+        },
+        "benchmark_iterations": {
+            "kind": "counter",
+            "help": "iterations per timing round, per benchmark",
+            "samples": _counter_samples(benchmarks, "iterations"),
+        },
+    }
+    groups: dict[str, int] = {}
+    total_s = 0.0
+    for bench in benchmarks:
+        groups[str(bench.get("group") or "")] = (
+            groups.get(str(bench.get("group") or ""), 0) + 1
+        )
+        stats = bench.get("stats", {})
+        mean = stats.get("mean")
+        rounds = stats.get("rounds")
+        if isinstance(mean, (int, float)) and isinstance(rounds, (int, float)):
+            total_s += float(mean) * float(rounds)
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "params": {
+            "source": "pytest-benchmark",
+            "benchmark_version": str(data.get("version", "")),
+            "datetime": str(data.get("datetime", "")),
+        },
+        "git_rev": git_rev,
+        "python": str(machine.get("python_version", "")),
+        "platform": str(machine.get("machine", "")) or "unknown",
+        "started_unix": _started_unix(data),
+        "duration_s": round(total_s, 6),
+        "metrics": metrics,
+        "phases": {},
+        "peak_rss_bytes": None,
+        "result": {
+            "benchmarks": len(benchmarks),
+            "groups": groups,
+            "names": [str(b.get("name", "")) for b in benchmarks],
+        },
+    }
+    problems = validate_manifest(manifest)
+    if problems:  # defensive: a bug here must fail loudly, not archive junk
+        raise ValueError(
+            "refusing to build an invalid manifest: " + "; ".join(problems)
+        )
+    return manifest
+
+
+def write_benchmark_manifest(
+    source: str, destination: str, *, experiment: str = "benchmarks"
+) -> dict[str, Any]:
+    """Convert a ``--benchmark-json`` file into a validated manifest file.
+
+    Returns the manifest dict that was written.
+    """
+    with open(source, encoding="utf-8") as handle:
+        data = json.load(handle)
+    manifest = manifest_from_benchmark_json(data, experiment=experiment)
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, default=str)
+        handle.write("\n")
+    return manifest

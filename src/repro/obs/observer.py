@@ -134,7 +134,11 @@ class Observer:
                 scheduler.profiler = self.profiler_for(kind)
         elif hasattr(sim, "engine"):
             engine = sim.engine
-            kind = "mirror" if type(engine).__name__ == "MirrorEngine" else "fast"
+            kind = (
+                "mirror"
+                if type(engine).__name__.endswith("MirrorEngine")
+                else "fast"
+            )
             if hasattr(engine, "profiler"):
                 engine.profiler = self.profiler_for(kind)
         index = self._sim_count

@@ -32,7 +32,6 @@ from typing import TYPE_CHECKING
 
 from repro.obs.runtime import attach_campaign as _obs_attach
 from repro.sim.chaos.monitors import RecoveryMonitor
-from repro.sim.chaos.network import ChaosNetwork
 from repro.sim.chaos.plan import FaultPlan
 from repro.sim.engine import Simulator
 from repro.sim.metrics import BurstRecord, RecoveryStats
@@ -127,9 +126,12 @@ class ChaosCampaign:
     Parameters
     ----------
     simulator:
-        The simulator to drive.  Its network must be a
-        :class:`~repro.sim.chaos.network.ChaosNetwork` if the plan
-        schedules any wire faults (loss, duplication, delay).
+        The simulator to drive.  If the plan schedules any wire faults
+        (loss, duplication, delay) its transport must support them: a
+        :class:`~repro.sim.chaos.network.ChaosNetwork` on the reference
+        engine, or a chaos fast engine
+        (:meth:`FastSimulator.from_states` with ``mode="chaos"`` or
+        ``mode="mirror-chaos"``).
     plan:
         The fault schedule; round windows are campaign-relative.
     monitors:
@@ -143,12 +145,20 @@ class ChaosCampaign:
         plan: FaultPlan,
         monitors: tuple[RecoveryMonitor, ...] | list[RecoveryMonitor] = (),
     ) -> None:
+        # The transport the campaign observes and installs wire faults on:
+        # a reference simulator's network, or a FastSimulator's engine.
+        host = getattr(simulator, "network", None)
+        if host is None:
+            host = simulator.engine
+        self._host = host
         if any(
             type(sf.injector).overrides_wire() for sf in plan
-        ) and not isinstance(simulator.network, ChaosNetwork):
+        ) and not hasattr(host, "set_wire_faults"):
             raise TypeError(
-                "plan schedules wire faults but the simulator's network is "
-                f"a {type(simulator.network).__name__}; use ChaosNetwork"
+                "plan schedules wire faults but the simulator's transport "
+                f"is a {type(host).__name__}; use ChaosNetwork (reference "
+                "engine) or a chaos fast engine (mode='chaos' or "
+                "'mirror-chaos')"
             )
         self.simulator = simulator
         self.plan = plan
@@ -186,8 +196,8 @@ class ChaosCampaign:
         """
         if rounds < 0:
             raise ValueError("rounds must be non-negative")
-        network = self.simulator.network
-        chaos_net = network if isinstance(network, ChaosNetwork) else None
+        host = self._host
+        chaos_net = host if hasattr(host, "set_wire_faults") else None
         finite_stops = [
             sf.window.stop for sf in self.plan if sf.window.stop is not None
         ]
@@ -266,10 +276,10 @@ class ChaosCampaign:
         health: dict[str, bool] = {}
         obs = self._obs
         for monitor in self.monitors:
-            ok = monitor.healthy(self.simulator.network)
+            ok = monitor.healthy(self._host)
             health[monitor.name] = ok
             if ok != self._was_healthy[monitor.name]:
-                detail = monitor.detail(self.simulator.network)
+                detail = monitor.detail(self._host)
                 self.trace.record(
                     round_index,
                     "healthy" if ok else "unhealthy",

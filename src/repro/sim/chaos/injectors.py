@@ -250,14 +250,29 @@ class PointerCorruption(FaultInjector):
         self.corrupted = 0
 
     def on_round(self, simulator: "Simulator") -> None:
-        from repro.sim.faults import corrupt_random_pointers
+        network = getattr(simulator, "network", None)
+        if network is not None:
+            from repro.sim.faults import corrupt_random_pointers
 
-        self.corrupted += corrupt_random_pointers(
-            simulator.network,
-            self.fraction,
-            self.rng,
-            corrupt_list_links=self.corrupt_list_links,
-        )
+            self.corrupted += corrupt_random_pointers(
+                network,
+                self.fraction,
+                self.rng,
+                corrupt_list_links=self.corrupt_list_links,
+            )
+        else:
+            # A FastSimulator host exposes `engine` instead of `network`;
+            # the SoA port replicates the reference draw order exactly.
+            from repro.sim.fast.chaos.faults import (
+                corrupt_random_pointers_engine,
+            )
+
+            self.corrupted += corrupt_random_pointers_engine(
+                simulator.engine,
+                self.fraction,
+                self.rng,
+                corrupt_list_links=self.corrupt_list_links,
+            )
 
     def describe(self) -> str:
         return f"PointerCorruption(fraction={self.fraction})"
@@ -282,19 +297,27 @@ class CrashRestart(FaultInjector):
         self.crashes = 0
 
     def on_round(self, simulator: "Simulator") -> None:
-        from repro.sim.faults import crash_restart
-
-        network = simulator.network
+        network = getattr(simulator, "network", None)
+        host = network if network is not None else simulator.engine
         if self.node_ids is not None:
-            victims = [nid for nid in self.node_ids if nid in network]
+            victims = [nid for nid in self.node_ids if nid in host]
         else:
-            ids = network.ids
+            ids = host.ids
             k = min(self.count, len(ids))
             picks = self.rng.choice(len(ids), size=k, replace=False)
             victims = [ids[int(i)] for i in picks]
-        for victim in victims:
-            crash_restart(network, victim)
-            self.crashes += 1
+        if network is not None:
+            from repro.sim.faults import crash_restart
+
+            for victim in victims:
+                crash_restart(network, victim)
+                self.crashes += 1
+        else:
+            from repro.sim.fast.chaos.faults import crash_restart_engine
+
+            for victim in victims:
+                crash_restart_engine(host, victim)
+                self.crashes += 1
 
     def describe(self) -> str:
         if self.node_ids is not None:
@@ -333,21 +356,30 @@ class NodeChurn(FaultInjector):
         self.leaves = 0
 
     def on_round(self, simulator: "Simulator") -> None:
-        from repro.churn.join import join_node
-        from repro.churn.leave import leave_node
-
-        network = simulator.network
+        network = getattr(simulator, "network", None)
+        host = network if network is not None else simulator.engine
         if self.rng.random() < self.join_probability:
             new_id = float(self.rng.random())
-            while new_id in network:
+            while new_id in host:
                 new_id = float(self.rng.random())
-            ids = network.ids
+            ids = host.ids
             contact = ids[int(self.rng.integers(len(ids)))]
-            join_node(network, new_id, contact)
+            if network is not None:
+                from repro.churn.join import join_node
+
+                join_node(network, new_id, contact)
+            else:
+                host.join(new_id, contact)
             self.joins += 1
-        if len(network) > self.min_size and self.rng.random() < self.leave_probability:
-            ids = network.ids
-            leave_node(network, ids[int(self.rng.integers(len(ids)))])
+        if len(host) > self.min_size and self.rng.random() < self.leave_probability:
+            ids = host.ids
+            victim = ids[int(self.rng.integers(len(ids)))]
+            if network is not None:
+                from repro.churn.leave import leave_node
+
+                leave_node(network, victim)
+            else:
+                host.leave(victim)
             self.leaves += 1
 
     def describe(self) -> str:
@@ -371,7 +403,13 @@ class SchedulerFault(FaultInjector):
         self._saved: "Scheduler | None" = None
 
     def on_window_start(self, simulator: "Simulator") -> None:
-        self._saved = simulator.scheduler
+        saved = getattr(simulator, "scheduler", None)
+        if saved is None:
+            raise TypeError(
+                "SchedulerFault requires a reference simulator with a "
+                "scheduler to swap; the batched engines schedule internally"
+            )
+        self._saved = saved
         simulator.scheduler = self.scheduler
 
     def on_window_end(self, simulator: "Simulator") -> None:

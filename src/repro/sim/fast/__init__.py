@@ -8,10 +8,14 @@ Two engines over one state representation (docs/PERF.md):
   engine; the oracle of the differential-equivalence harness.
 
 Both plug into :class:`FastSimulator`, which shares the round-loop drivers
-with the reference :class:`~repro.sim.engine.Simulator`.
+with the reference :class:`~repro.sim.engine.Simulator`.  The chaos
+variants — :class:`ChaosFastEngine` (vectorized wire faults + batched
+guard) and :class:`ChaosMirrorEngine` (bit-exact ``ChaosNetwork`` twin) —
+live in :mod:`repro.sim.fast.chaos` (docs/CHAOS.md).
 """
 
 from repro.sim.fast.batched import FastEngine
+from repro.sim.fast.chaos import ChaosFastEngine, ChaosMirrorEngine
 from repro.sim.fast.engine import FastSimulator
 from repro.sim.fast.mirror import MirrorEngine
 from repro.sim.fast.predicates import (
@@ -24,6 +28,8 @@ from repro.sim.fast.predicates import (
 from repro.sim.fast.soa import SoAState
 
 __all__ = [
+    "ChaosFastEngine",
+    "ChaosMirrorEngine",
     "FastEngine",
     "FastSimulator",
     "MirrorEngine",

@@ -103,12 +103,22 @@ class FastEngine:
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
+    def _take_wire(self, rng: np.random.Generator) -> list:
+        """This round's deliverable chunks (chaos engines interpose here)."""
+        del rng
+        return self.outbox.take_all()
+
+    def _close_round(self, rng: np.random.Generator) -> None:
+        """End-of-round bookkeeping (chaos engines interpose here)."""
+        del rng
+        self.outbox.flush_stats()
+
     def execute_round(self, rng: np.random.Generator) -> None:
         """Advance the network by one synchronous round."""
         profiler = self.profiler
         t0 = time.perf_counter() if profiler is not None else 0.0
         inbox, dropped = build_inbox(
-            self.outbox.take_all(),
+            self._take_wire(rng),
             self.soa.lookup,
             rng,
             dedup=self.dedup,
@@ -143,9 +153,9 @@ class FastEngine:
         t2 = time.perf_counter() if profiler is not None else 0.0
         _, live_idx = self.soa.sorted_live()
         self.kernels.regular_action(live_idx, rng)
-        self.outbox.flush_stats()
         if profiler is not None:
             profiler.add("regular", time.perf_counter() - t2, calls=len(live_idx))
+        self._close_round(rng)
 
     def _dispatch(
         self,

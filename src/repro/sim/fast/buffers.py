@@ -67,7 +67,17 @@ TYPE_OF_CODE: tuple[MessageType, ...] = (
 
 CODE_OF_TYPE: dict[MessageType, int] = {t: c for c, t in enumerate(TYPE_OF_CODE)}
 
-_Chunk = tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]
+#: One staged batch: ``(dest, a, b, c, origin)``.  ``origin`` is the
+#: sender-id column — ``None`` on the fault-free hot path (nothing reads
+#: it there) and populated by the kernels so the chaos wire layer can
+#: guard-wrap outgoing rows exactly like ``Network.send_from`` does.
+_Chunk = tuple[
+    np.ndarray,
+    np.ndarray,
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+]
 _KeepFn = Callable[[int, _Chunk], np.ndarray]
 
 
@@ -96,13 +106,14 @@ class Outbox:
         a: np.ndarray,
         b: np.ndarray | None = None,
         c: np.ndarray | None = None,
+        origin: np.ndarray | None = None,
     ) -> None:
         """Stage one aligned batch of messages of a single type."""
         count = len(dest)
         if count == 0:
             return
         self._counts[code] += count
-        self._chunks[code].append((dest, a, b, c))
+        self._chunks[code].append((dest, a, b, c, origin))
 
     def flush_stats(self) -> None:
         """Transfer accumulated send counts into the shared stats.
@@ -190,6 +201,7 @@ class Outbox:
                             ch[1][keep],
                             None if ch[2] is None else ch[2][keep],
                             None if ch[3] is None else ch[3][keep],
+                            None if ch[4] is None else ch[4][keep],
                         )
                     )
             self._chunks[code] = fresh

@@ -1,0 +1,90 @@
+"""State-fault primitives for the SoA engines (ports of ``repro.sim.faults``).
+
+The reference helpers (:func:`repro.sim.faults.corrupt_random_pointers`,
+:func:`repro.sim.faults.crash_restart`) mutate ``NodeState`` objects behind
+a ``Network``.  These are the struct-of-arrays counterparts used when a
+:class:`~repro.sim.chaos.injectors.FaultInjector` fires against a
+:class:`~repro.sim.fast.FastSimulator` host.  They replicate the reference
+draw choreography *exactly* — same number of RNG calls, in the same order,
+with the same skip conditions — so a twin-seeded injector produces
+bit-identical corruption on both engines (the chaos differential relies on
+this; docs/CHAOS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.ids import NEG_INF, POS_INF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fast.batched import FastEngine
+    from repro.sim.fast.mirror import MirrorEngine
+
+    AnyEngine = FastEngine | MirrorEngine
+
+__all__ = ["corrupt_random_pointers_engine", "crash_restart_engine"]
+
+
+def corrupt_random_pointers_engine(
+    engine: "AnyEngine",
+    fraction: float,
+    rng: np.random.Generator,
+    *,
+    corrupt_list_links: bool = True,
+) -> int:
+    """Corrupt a random *fraction* of nodes' pointers in SoA columns.
+
+    Draw-for-draw port of :func:`repro.sim.faults.corrupt_random_pointers`:
+    the victim choice, the per-victim l/r draws (skipped — not consumed —
+    when no smaller/larger identifier exists), and the lrl/ring/age draws
+    all line up with the reference helper.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ids = engine.ids
+    n = len(ids)
+    count = int(fraction * n)
+    if count == 0:
+        return 0
+    victims = rng.choice(n, size=count, replace=False)
+    soa = engine.soa
+    for v in victims:
+        nid = ids[int(v)]
+        i = soa.index_of(nid)
+        assert i is not None
+        if corrupt_list_links:
+            smaller = [other for other in ids if other < nid]
+            larger = [other for other in ids if other > nid]
+            if smaller:
+                soa.l[i] = smaller[int(rng.integers(len(smaller)))]
+            if larger:
+                soa.r[i] = larger[int(rng.integers(len(larger)))]
+        soa.lrl[i] = ids[int(rng.integers(n))]
+        soa.ring[i] = ids[int(rng.integers(n))]
+        soa.age[i] = int(rng.integers(0, 1000))
+    return count
+
+
+def crash_restart_engine(engine: "AnyEngine", node_id: float) -> None:
+    """Reset *node_id* to its freshly-booted state (keeps its identifier).
+
+    Port of :func:`repro.sim.faults.crash_restart`: neighbors to the
+    sentinels, the long-range link to self with age 0, ring cleared, and —
+    where the engine holds per-node channels (the mirror) — any queued
+    messages dropped like the reference's ``channel.clear()``.
+    """
+    soa = engine.soa
+    i = soa.index_of(node_id)
+    if i is None:
+        raise KeyError(f"no node with id {node_id!r}")
+    soa.l[i] = NEG_INF
+    soa.r[i] = POS_INF
+    soa.lrl[i] = soa.ids[i]
+    soa.ring[i] = np.nan
+    soa.age[i] = 0
+    clear = getattr(engine, "crash_channel_clear", None)
+    if clear is not None:
+        clear(node_id)

@@ -23,6 +23,7 @@ from repro.sim.fast.batched import FastEngine
 from repro.sim.fast.mirror import MirrorEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.sim.chaos.guard import GuardPolicy
     from repro.sim.network import Network
 
 __all__ = ["FastSimulator"]
@@ -60,6 +61,7 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
         config: ProtocolConfig | None = None,
         *,
         mode: str = "batched",
+        guard: "GuardPolicy | None" = None,
         dedup: bool = True,
         keep_history: bool = False,
         rng: np.random.Generator | int | None = None,
@@ -68,9 +70,18 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
 
         ``mode="batched"`` (default) gives the vectorized engine;
         ``mode="mirror"`` gives the draw-for-draw reference twin used by
-        the differential-equivalence tests (docs/PERF.md).
+        the differential-equivalence tests (docs/PERF.md).  The chaos
+        variants — ``mode="chaos"`` (vectorized wire faults) and
+        ``mode="mirror-chaos"`` (bit-exact ``ChaosNetwork`` twin) — accept
+        a :class:`~repro.sim.chaos.guard.GuardPolicy` via *guard* to
+        enable the guarded-handoff transport (docs/CHAOS.md).
         """
         engine: AnyFastEngine
+        if guard is not None and mode not in ("chaos", "mirror-chaos"):
+            raise ValueError(
+                "guard requires a chaos engine mode ('chaos' or "
+                f"'mirror-chaos'), not {mode!r}"
+            )
         if mode == "batched":
             engine = FastEngine(
                 states, config, dedup=dedup, keep_history=keep_history
@@ -79,9 +90,30 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
             engine = MirrorEngine(
                 states, config, dedup=dedup, keep_history=keep_history
             )
+        elif mode == "chaos":
+            from repro.sim.fast.chaos import ChaosFastEngine
+
+            engine = ChaosFastEngine(
+                states,
+                config,
+                guard=guard,
+                dedup=dedup,
+                keep_history=keep_history,
+            )
+        elif mode == "mirror-chaos":
+            from repro.sim.fast.chaos import ChaosMirrorEngine
+
+            engine = ChaosMirrorEngine(
+                states,
+                config,
+                guard=guard,
+                dedup=dedup,
+                keep_history=keep_history,
+            )
         else:
             raise ValueError(
-                f"unknown engine mode {mode!r}; expected 'batched' or 'mirror'"
+                f"unknown engine mode {mode!r}; expected 'batched', "
+                "'mirror', 'chaos', or 'mirror-chaos'"
             )
         return cls(engine, rng)
 

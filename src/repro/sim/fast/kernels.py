@@ -71,28 +71,28 @@ class Kernels:
         right = nid > pid
         adopt = right & (nid < pr)
         handoff = adopt & (pr != POS_INF)
-        self.out.send(LIN, nid[handoff], pr[handoff])
+        self.out.send(LIN, nid[handoff], pr[handoff], origin=pid[handoff])
         s.r[idx[adopt]] = nid[adopt]
         rest = right & ~adopt
         if self.shortcuts:
             shortcut = rest & (nid > plrl) & (plrl > pr)
-            self.out.send(LIN, plrl[shortcut], nid[shortcut])
+            self.out.send(LIN, plrl[shortcut], nid[shortcut], origin=pid[shortcut])
             rest = rest & ~shortcut
         forward = rest & (nid > pr)
-        self.out.send(LIN, pr[forward], nid[forward])
+        self.out.send(LIN, pr[forward], nid[forward], origin=pid[forward])
 
         left = nid < pid
         adopt = left & (nid > pl)
         handoff = adopt & (pl != NEG_INF)
-        self.out.send(LIN, nid[handoff], pl[handoff])
+        self.out.send(LIN, nid[handoff], pl[handoff], origin=pid[handoff])
         s.l[idx[adopt]] = nid[adopt]
         rest = left & ~adopt
         if self.shortcuts:
             shortcut = rest & (nid < plrl) & (plrl < pl)
-            self.out.send(LIN, plrl[shortcut], nid[shortcut])
+            self.out.send(LIN, plrl[shortcut], nid[shortcut], origin=pid[shortcut])
             rest = rest & ~shortcut
         forward = rest & (nid < pl)
-        self.out.send(LIN, pl[forward], nid[forward])
+        self.out.send(LIN, pl[forward], nid[forward], origin=pid[forward])
 
     # ------------------------------------------------------------------
     # Algorithm 3 — respondlrl(id)
@@ -110,18 +110,30 @@ class Kernels:
         has_r = pr != POS_INF
 
         both = has_l & has_r
-        self.out.send(RESLRL, origin[both], pid[both], pl[both], pr[both])
+        self.out.send(
+            RESLRL, origin[both], pid[both], pl[both], pr[both], origin=pid[both]
+        )
         only_l = has_l & ~has_r
         wrap_r = np.where(np.isnan(pring), POS_INF, pring)
         self.out.send(
-            RESLRL, origin[only_l], pid[only_l], pl[only_l], wrap_r[only_l]
+            RESLRL,
+            origin[only_l],
+            pid[only_l],
+            pl[only_l],
+            wrap_r[only_l],
+            origin=pid[only_l],
         )
         # Reference's "nothing real to report" guard is unreachable in this
         # branch (has_right already implies p.r < +inf), so no extra mask.
         only_r = has_r & ~has_l
         wrap_l = np.where(np.isnan(pring), NEG_INF, pring)
         self.out.send(
-            RESLRL, origin[only_r], pid[only_r], wrap_l[only_r], pr[only_r]
+            RESLRL,
+            origin[only_r],
+            pid[only_r],
+            wrap_l[only_r],
+            pr[only_r],
+            origin=pid[only_r],
         )
 
     # ------------------------------------------------------------------
@@ -179,10 +191,10 @@ class Kernels:
         rest = np.ones(len(idx), dtype=bool)
         if self.shortcuts:
             shortcut = (dest >= plrl) & (plrl > pr)
-            self.out.send(PROBR, plrl[shortcut], dest[shortcut])
+            self.out.send(PROBR, plrl[shortcut], dest[shortcut], origin=pid[shortcut])
             rest = ~shortcut
         forward = rest & (dest >= pr)
-        self.out.send(PROBR, pr[forward], dest[forward])
+        self.out.send(PROBR, pr[forward], dest[forward], origin=pid[forward])
         repair = rest & ~forward & (pid < dest) & (dest < pr)
         self.linearize(idx[repair], dest[repair])
 
@@ -197,10 +209,10 @@ class Kernels:
         rest = np.ones(len(idx), dtype=bool)
         if self.shortcuts:
             shortcut = (dest <= plrl) & (plrl < pl)
-            self.out.send(PROBL, plrl[shortcut], dest[shortcut])
+            self.out.send(PROBL, plrl[shortcut], dest[shortcut], origin=pid[shortcut])
             rest = ~shortcut
         forward = rest & (dest <= pl)
-        self.out.send(PROBL, pl[forward], dest[forward])
+        self.out.send(PROBL, pl[forward], dest[forward], origin=pid[forward])
         repair = rest & ~forward & (pid > dest) & (dest > pl)
         self.linearize(idx[repair], dest[repair])
 
@@ -221,23 +233,23 @@ class Kernels:
 
         lt = origin < pid
         b1 = lt & (pl < origin)
-        self.out.send(LIN, origin[b1], left_witness[b1])
+        self.out.send(LIN, origin[b1], left_witness[b1], origin=pid[b1])
         b2 = lt & ~b1 & (plrl < origin)
-        self.out.send(LIN, origin[b2], plrl[b2])
+        self.out.send(LIN, origin[b2], plrl[b2], origin=pid[b2])
         b3 = lt & ~b1 & ~b2 & (plrl > pr)
-        self.out.send(RESRING, origin[b3], plrl[b3])
+        self.out.send(RESRING, origin[b3], plrl[b3], origin=pid[b3])
         b4 = lt & ~b1 & ~b2 & ~b3
-        self.out.send(RESRING, origin[b4], right_witness[b4])
+        self.out.send(RESRING, origin[b4], right_witness[b4], origin=pid[b4])
 
         gt = origin > pid
         g1 = gt & (pr > origin)
-        self.out.send(LIN, origin[g1], left_witness[g1])
+        self.out.send(LIN, origin[g1], left_witness[g1], origin=pid[g1])
         g2 = gt & ~g1 & (plrl > origin)
-        self.out.send(LIN, origin[g2], plrl[g2])
+        self.out.send(LIN, origin[g2], plrl[g2], origin=pid[g2])
         g3 = gt & ~g1 & ~g2 & (plrl < pl)
-        self.out.send(RESRING, origin[g3], plrl[g3])
+        self.out.send(RESRING, origin[g3], plrl[g3], origin=pid[g3])
         g4 = gt & ~g1 & ~g2 & ~g3
-        self.out.send(RESRING, origin[g4], left_witness[g4])
+        self.out.send(RESRING, origin[g4], left_witness[g4], origin=pid[g4])
         # origin == pid: self-addressed ring edge, no-op (DESIGN.md §4.5).
 
     # ------------------------------------------------------------------
@@ -295,19 +307,23 @@ class Kernels:
         # Algorithm 9 — sendid()
         has_l = pl != NEG_INF
         has_r = pr != POS_INF
-        self.out.send(LIN, pl[has_l], pid[has_l])
-        self.out.send(LIN, pr[has_r], pid[has_r])
+        own_l = pid[has_l]
+        self.out.send(LIN, pl[has_l], own_l, origin=own_l)
+        own_r = pid[has_r]
+        self.out.send(LIN, pr[has_r], own_r, origin=own_r)
         need_target = ~has_l | ~has_r
         if need_target.any():
             target, valid = self._ring_target(idx, need_target)
             m = ~has_l & valid
-            self.out.send(RING, target[m], pid[m])
+            own = pid[m]
+            self.out.send(RING, target[m], own, origin=own)
             # A node missing both neighbors sends the ring message twice,
             # exactly like the reference's two _ring_target() call sites.
             m = ~has_r & valid
-            self.out.send(RING, target[m], pid[m])
+            own = pid[m]
+            self.out.send(RING, target[m], own, origin=own)
         if self.maf:
-            self.out.send(INCLRL, s.lrl[idx], pid)
+            self.out.send(INCLRL, s.lrl[idx], pid, origin=pid)
 
         # Algorithm 10 — probing()
         if not self.probing_on:
@@ -365,9 +381,9 @@ class Kernels:
         pr = s.r[idx]
         lt = target < pid
         fwd_l = lt & (target <= pl)
-        self.out.send(PROBL, pl[fwd_l], target[fwd_l])
+        self.out.send(PROBL, pl[fwd_l], target[fwd_l], origin=pid[fwd_l])
         gt = target > pid
         fwd_r = gt & (target >= pr)
-        self.out.send(PROBR, pr[fwd_r], target[fwd_r])
+        self.out.send(PROBR, pr[fwd_r], target[fwd_r], origin=pid[fwd_r])
         repair = (lt & ~fwd_l) | (gt & ~fwd_r)
         self.linearize(idx[repair], target[repair])

@@ -1,0 +1,121 @@
+"""The pytest-benchmark → ``repro.obs`` manifest exporter.
+
+The contract (docs/OBSERVABILITY.md): every manifest
+:func:`repro.obs.bench.manifest_from_benchmark_json` produces must pass
+:func:`repro.obs.manifest.validate_manifest` unchanged — benchmark
+archives live in the exact same validated schema as experiment runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import manifest_from_benchmark_json, write_benchmark_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA, validate_manifest
+
+
+def benchmark_document() -> dict:
+    """A minimal but faithful ``--benchmark-json`` document."""
+    return {
+        "machine_info": {
+            "python_version": "3.11.7",
+            "machine": "x86_64",
+        },
+        "commit_info": {"id": "a" * 40, "dirty": False},
+        "datetime": "2026-08-06T10:00:00",
+        "version": "4.0.0",
+        "benchmarks": [
+            {
+                "name": "test_fast_round[2048]",
+                "group": "chaos",
+                "stats": {
+                    "min": 0.010,
+                    "max": 0.014,
+                    "mean": 0.012,
+                    "median": 0.0115,
+                    "stddev": 0.001,
+                    "rounds": 25,
+                    "iterations": 1,
+                },
+            },
+            {
+                "name": "test_reference_round[2048]",
+                "group": "chaos",
+                "stats": {
+                    "min": 0.090,
+                    "max": 0.140,
+                    "mean": 0.110,
+                    "median": 0.105,
+                    "stddev": 0.012,
+                    "rounds": 5,
+                    "iterations": 1,
+                },
+            },
+        ],
+    }
+
+
+class TestManifestFromBenchmarkJson:
+    def test_validates_against_manifest_schema(self):
+        manifest = manifest_from_benchmark_json(benchmark_document())
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == MANIFEST_SCHEMA
+
+    def test_environment_fields(self):
+        manifest = manifest_from_benchmark_json(benchmark_document())
+        assert manifest["git_rev"] == "a" * 40
+        assert manifest["python"] == "3.11.7"
+        assert manifest["platform"] == "x86_64"
+        assert manifest["started_unix"] > 0
+        assert manifest["params"]["source"] == "pytest-benchmark"
+
+    def test_gauge_samples_cover_every_stat(self):
+        manifest = manifest_from_benchmark_json(benchmark_document())
+        gauge = manifest["metrics"]["benchmark_seconds"]
+        assert gauge["kind"] == "gauge"
+        # 2 benchmarks x 5 stats
+        assert len(gauge["samples"]) == 10
+        fast_min = next(
+            s
+            for s in gauge["samples"]
+            if s["labels"]["benchmark"] == "test_fast_round[2048]"
+            and s["labels"]["stat"] == "min"
+        )
+        assert fast_min["value"] == pytest.approx(0.010)
+        assert fast_min["labels"]["group"] == "chaos"
+
+    def test_counters_and_result_summary(self):
+        manifest = manifest_from_benchmark_json(benchmark_document())
+        rounds = manifest["metrics"]["benchmark_rounds"]
+        assert {s["value"] for s in rounds["samples"]} == {25.0, 5.0}
+        assert manifest["result"]["benchmarks"] == 2
+        assert manifest["result"]["groups"] == {"chaos": 2}
+        # duration = sum(mean * rounds)
+        assert manifest["duration_s"] == pytest.approx(
+            0.012 * 25 + 0.110 * 5, rel=1e-6
+        )
+
+    def test_empty_run_is_valid(self):
+        doc = benchmark_document()
+        doc["benchmarks"] = []
+        manifest = manifest_from_benchmark_json(doc)
+        assert validate_manifest(manifest) == []
+        assert manifest["result"]["benchmarks"] == 0
+
+    def test_non_benchmark_document_rejected(self):
+        with pytest.raises(ValueError, match="benchmarks"):
+            manifest_from_benchmark_json({"not": "a benchmark file"})
+
+
+class TestWriteBenchmarkManifest:
+    def test_round_trip_through_files(self, tmp_path):
+        src = tmp_path / "bench.json"
+        dest = tmp_path / "manifest.json"
+        src.write_text(json.dumps(benchmark_document()))
+        returned = write_benchmark_manifest(str(src), str(dest))
+        on_disk = json.loads(dest.read_text())
+        assert validate_manifest(on_disk) == []
+        assert on_disk == json.loads(json.dumps(returned, default=str))
+        assert on_disk["experiment"] == "benchmarks"
