@@ -1,0 +1,117 @@
+"""Measure (not gate) the flow sanitizer's wall-clock overhead.
+
+Runs the identical fixed-round workload on the batched engine with the
+sanitizer off and on, interleaved and min-reduced like the obs-overhead
+bench, and records the ratio to ``BENCH_sanitize_overhead.json``.  The
+sanitizer is a debugging tool, not a production path, so its cost is
+*recorded* rather than gated — the number documents what a
+``REPRO_SANITIZE=1`` differential run pays (every column attribute
+access allocates a recording view, every element access books into the
+open kernel window).  What *is* asserted: sanitize-off construction
+must leave the engine on the plain hot path (``sanitizer is None``), so
+shipping this subsystem cannot regress the gated `perf_smoke` numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sanitize_overhead.py            # print
+    PYTHONPATH=src python benchmarks/sanitize_overhead.py --record   # + json
+
+CI runs ``--record`` in the sanitize-smoke job (docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+BENCH = pathlib.Path(__file__).parent.parent / "BENCH_sanitize_overhead.json"
+
+N = 512
+ROUNDS = 200
+SEED = 2024
+REPEATS = 3
+
+
+def _run(sanitize: bool) -> float:
+    from repro.core.protocol import ProtocolConfig
+    from repro.sim.fast import FastSimulator
+    from repro.topology.generators import TOPOLOGIES
+
+    states = TOPOLOGIES["line"](N, np.random.default_rng(SEED))
+    sim = FastSimulator.from_states(
+        states,
+        ProtocolConfig(),
+        rng=np.random.default_rng(SEED),
+        sanitize=sanitize,
+    )
+    assert (sim.engine.sanitizer is not None) is sanitize
+    start = time.perf_counter()
+    sim.run(ROUNDS)
+    if sanitize:
+        assert sim.engine.sanitizer.rounds_checked > 0
+    return time.perf_counter() - start
+
+
+def measure() -> dict[str, float]:
+    """Interleaved best-of-``REPEATS`` timings, sanitizer off vs on."""
+    plain: list[float] = []
+    sanitized: list[float] = []
+    for _ in range(REPEATS):
+        plain.append(_run(sanitize=False))
+        sanitized.append(_run(sanitize=True))
+    off, on = min(plain), min(sanitized)
+    return {
+        "plain_seconds": round(off, 4),
+        "sanitized_seconds": round(on, 4),
+        "overhead_ratio": round(on / off, 4),
+    }
+
+
+def record(result: dict[str, float]) -> None:
+    """Machine-stamp the measurement into ``BENCH_sanitize_overhead.json``."""
+    import platform
+
+    entry = {
+        "bench": "sanitize_overhead",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "gate": "none (recorded only; sanitize-off path is perf_smoke-gated)",
+        "workload": {
+            "n": N,
+            "rounds": ROUNDS,
+            "topology": "line",
+            "mode": "batched",
+            "seed": SEED,
+        },
+        **result,
+    }
+    BENCH.write_text(json.dumps([entry], indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help=f"write the measurement to {BENCH.name}",
+    )
+    args = parser.parse_args(argv)
+    result = measure()
+    print(
+        f"sanitize-overhead: n={N} rounds={ROUNDS} "
+        f"plain={result['plain_seconds']}s "
+        f"sanitized={result['sanitized_seconds']}s "
+        f"ratio={result['overhead_ratio']}x"
+    )
+    if args.record:
+        record(result)
+        print(f"sanitize-overhead: recorded to {BENCH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Flow-pass driver: file discovery, rule execution, suppression.
+
+Mirrors :mod:`repro.analysis.lint.engine` (stdlib only, same finding
+model, same exit-code contract) but runs the conflict-freedom rules
+under the ``repro-flow`` pragma namespace.  The three engine-level
+conditions — ``syntax-error``, ``unreadable-file``, ``bad-pragma`` /
+``unknown-rule`` — carry over unchanged: a suppression that does not
+parse or names a rule that does not exist is itself an error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.lint.engine import exit_code, iter_python_files
+from repro.analysis.lint.findings import Finding, Severity
+
+from .rules import FLOW_RULES, FLOW_RULES_BY_ID, FlowRule
+from .unit import FlowUnit
+
+__all__ = ["analyze_source", "analyze_paths", "exit_code"]
+
+
+def _pragma_findings(unit: FlowUnit) -> list[Finding]:
+    findings: list[Finding] = []
+    for lineno in unit.ignores.malformed_lines:
+        findings.append(
+            Finding(
+                rule="bad-pragma",
+                severity=Severity.ERROR,
+                path=unit.path,
+                line=lineno,
+                col=0,
+                message=(
+                    "malformed repro-flow pragma; the syntax is "
+                    "'# repro-flow: ignore[rule-id] justification'"
+                ),
+            )
+        )
+    known = frozenset(FLOW_RULES_BY_ID)
+    for lineno, rules in sorted(unit.ignores.rules_by_line().items()):
+        for rule_id in sorted(rules):
+            if rule_id != "*" and rule_id not in known:
+                findings.append(
+                    Finding(
+                        rule="unknown-rule",
+                        severity=Severity.ERROR,
+                        path=unit.path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"pragma ignores unknown flow rule "
+                            f"'{rule_id}'; known rules: "
+                            f"{', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+    return findings
+
+
+def analyze_source(
+    path: str,
+    source: str,
+    rules: Sequence[FlowRule] | None = None,
+) -> list[Finding]:
+    """Run *rules* (default: all flow rules) over one in-memory module."""
+    active = tuple(rules) if rules is not None else FLOW_RULES
+    try:
+        unit = FlowUnit.from_source(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(unit):
+            if not unit.ignores.is_ignored(finding.rule, finding.line):
+                findings.append(finding)
+    findings.extend(_pragma_findings(unit))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Sequence[FlowRule] | None = None,
+) -> list[Finding]:
+    """Run *rules* (default: all) over every ``.py`` file under *paths*."""
+    findings: list[Finding] = []
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule="unreadable-file",
+                    severity=Severity.ERROR,
+                    path=filepath,
+                    line=1,
+                    col=0,
+                    message=f"file cannot be read as UTF-8 text: {exc}",
+                )
+            )
+            continue
+        findings.extend(analyze_source(filepath, source, rules))
+    return findings

@@ -1,0 +1,53 @@
+"""Per-file unit for the flow pass.
+
+Same shape as :class:`repro.analysis.lint.unit.ModuleUnit`, but the
+suppression pragmas live in the flow pass's own comment namespace
+(``# repro-flow: ignore[rule] why``), so a line can carry lint and flow
+suppressions independently without either tool seeing the other's.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.ignores import IgnorePragmas
+
+__all__ = ["FlowUnit", "PRAGMA_TOOL"]
+
+#: Comment prefix of flow suppressions.
+PRAGMA_TOOL = "repro-flow"
+
+
+class FlowUnit:
+    """One parsed source file under flow analysis."""
+
+    __slots__ = ("path", "source", "tree", "ignores")
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.ignores = IgnorePragmas(source, tool=PRAGMA_TOOL)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FlowUnit":
+        """Parse *source* (raises :class:`SyntaxError` on bad input)."""
+        return cls(path, source, ast.parse(source, filename=path))
+
+    def finding(
+        self,
+        rule_id: str,
+        severity: Severity,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at *node*'s location."""
+        return Finding(
+            rule=rule_id,
+            severity=severity,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

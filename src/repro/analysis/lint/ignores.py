@@ -7,6 +7,12 @@ string literal is prose, not a suppression.  The syntax deliberately
 requires a rule name: a pragma comment that does not parse is itself
 reported (``bad-pragma``), so suppressions stay auditable (ISSUE 1
 requires every ignore to name its rule and justify itself in review).
+Anything after the closing bracket is free-form justification prose —
+the convention is to always say *why* the line is exempt.
+
+The machinery is shared: other analysis passes reuse it under their own
+comment prefix (the flow pass reads ``# repro-flow: ignore[...]``), so
+each tool's suppressions stay in separate, non-colliding namespaces.
 """
 
 from __future__ import annotations
@@ -15,15 +21,21 @@ import io
 import re
 import tokenize
 
-__all__ = ["IgnorePragmas", "PRAGMA_RE", "MALFORMED_PRAGMA_RE"]
+__all__ = ["IgnorePragmas", "PRAGMA_RE", "MALFORMED_PRAGMA_RE", "pragma_res"]
+
+
+def pragma_res(tool: str) -> tuple[re.Pattern[str], re.Pattern[str]]:
+    """``(pragma, malformed)`` regexes for *tool*'s comment prefix."""
+    escaped = re.escape(tool)
+    pragma = re.compile(
+        rf"#\s*{escaped}:\s*ignore\[([A-Za-z0-9_*,\s-]+)\]"
+    )
+    malformed = re.compile(rf"#\s*{escaped}:")
+    return pragma, malformed
+
 
 #: ``ignore[rule-a, rule-b]`` inside a comment (whitespace-tolerant).
-PRAGMA_RE = re.compile(
-    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*,\s-]+)\]"
-)
-
-#: A pragma-looking comment that does not parse (e.g. missing brackets).
-MALFORMED_PRAGMA_RE = re.compile(r"#\s*repro-lint:")
+PRAGMA_RE, MALFORMED_PRAGMA_RE = pragma_res("repro-lint")
 
 
 def _comment_tokens(source: str) -> list[tuple[int, str]]:
@@ -45,16 +57,27 @@ def _comment_tokens(source: str) -> list[tuple[int, str]]:
 
 
 class IgnorePragmas:
-    """Per-file map from physical line number to the set of ignored rules."""
+    """Per-file map from physical line number to the set of ignored rules.
 
-    __slots__ = ("_by_line", "malformed_lines")
+    *tool* selects the comment prefix (``# <tool>: ignore[...]``); the
+    default is the lint pass's own ``repro-lint``.  The flow pass passes
+    ``tool="repro-flow"`` so its suppressions never collide with lint's.
+    """
 
-    def __init__(self, source: str) -> None:
+    __slots__ = ("_by_line", "malformed_lines", "tool")
+
+    def __init__(self, source: str, tool: str = "repro-lint") -> None:
+        self.tool = tool
+        pragma_re, malformed_re = (
+            (PRAGMA_RE, MALFORMED_PRAGMA_RE)
+            if tool == "repro-lint"
+            else pragma_res(tool)
+        )
         self._by_line: dict[int, frozenset[str]] = {}
-        #: Lines carrying a ``repro-lint:`` comment that failed to parse.
+        #: Lines carrying a ``<tool>:`` comment that failed to parse.
         self.malformed_lines: list[int] = []
         for lineno, text in _comment_tokens(source):
-            match = PRAGMA_RE.search(text)
+            match = pragma_re.search(text)
             if match:
                 rules = frozenset(
                     token.strip() for token in match.group(1).split(",")
@@ -63,7 +86,7 @@ class IgnorePragmas:
                 if rules:
                     self._by_line[lineno] = rules
                     continue
-            if MALFORMED_PRAGMA_RE.search(text):
+            if malformed_re.search(text):
                 self.malformed_lines.append(lineno)
 
     def rules_by_line(self) -> dict[int, frozenset[str]]:

@@ -8,7 +8,8 @@ Four rule families (ISSUE 1):
 3. **RNG determinism** — ``stdlib-random``, ``legacy-np-random``,
    ``import-time-rng``;
 4. **self-stabilization hygiene** — ``bare-except``, ``broad-except``,
-   ``silent-except``, ``mutable-default``.
+   ``silent-except``, ``mutable-default``;
+5. **SoA performance discipline** (advisory) — ``scalar-loop-over-soa``.
 
 ``ALL_RULES`` instantiates one of each; ``RULES_BY_ID`` indexes them for
 the CLI's ``--select``/``--ignore`` filters and the pragma machinery.
@@ -23,6 +24,7 @@ from repro.analysis.lint.rules.hygiene import (
     MutableDefaultRule,
     SilentExceptRule,
 )
+from repro.analysis.lint.rules.perf import ScalarLoopOverSoaRule
 from repro.analysis.lint.rules.protocol import (
     DispatchCompleteRule,
     ForeignMutationRule,
@@ -50,6 +52,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BroadExceptRule(),
     SilentExceptRule(),
     MutableDefaultRule(),
+    ScalarLoopOverSoaRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -22,13 +22,13 @@ from repro.experiments.common import ExperimentResult, seed_rng
 from repro.graphs.predicates import is_sorted_ring
 from repro.sim.adversary import DelayAdversary, StarvationAdversary
 from repro.sim.engine import Simulator
-from repro.sim.schedulers import AsyncScheduler, SynchronousScheduler
+from repro.sim.schedulers import AsyncScheduler, Scheduler, SynchronousScheduler
 from repro.topology.generators import TOPOLOGIES
 
 __all__ = ["run"]
 
 
-def _make_scheduler(kind: str):
+def _make_scheduler(kind: str) -> Scheduler:
     if kind == "sync":
         return SynchronousScheduler()
     if kind == "async":

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -50,6 +50,12 @@ from repro.sim.fast.buffers import (
     build_inbox,
 )
 from repro.sim.fast.kernels import Kernels
+from repro.sim.fast.sanitize import (
+    FlowSanitizer,
+    SanitizedOutbox,
+    SanitizedSoAState,
+    sanitize_enabled,
+)
 from repro.sim.fast.soa import SoAState
 from repro.sim.metrics import MessageStats
 
@@ -81,6 +87,7 @@ class FastEngine:
         *,
         dedup: bool = True,
         keep_history: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         cfg = config or ProtocolConfig()
         if cfg.trace is not None:
@@ -93,7 +100,21 @@ class FastEngine:
         self.dedup = dedup
         self.stats = MessageStats(keep_history=keep_history)
         self.outbox = Outbox(self.stats)
-        self.kernels = Kernels(self.soa, self.outbox, cfg)
+        # The sanitizer scopes recording to kernel code: the engine keeps
+        # its real state/outbox references, only the kernels see the
+        # recording proxies.  Draw order is untouched either way, so a
+        # sanitized run stays bit-exact with an unsanitized one.
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: FlowSanitizer | None = None
+        kernel_soa, kernel_out = self.soa, self.outbox
+        if sanitize:
+            self.sanitizer = FlowSanitizer.for_kernels()
+            kernel_soa = cast(
+                SoAState, SanitizedSoAState(self.soa, self.sanitizer)
+            )
+            kernel_out = cast(Outbox, SanitizedOutbox(self.outbox, self.sanitizer))
+        self.kernels = Kernels(kernel_soa, kernel_out, cfg)
         #: Messages sent to identifiers that no longer exist (dropped).
         self.dropped = 0
         #: Per-kernel profiler, installed by an ambient observer
@@ -152,7 +173,17 @@ class FastEngine:
                     )
         t2 = time.perf_counter() if profiler is not None else 0.0
         _, live_idx = self.soa.sorted_live()
-        self.kernels.regular_action(live_idx, rng)
+        san = self.sanitizer
+        if san is None:
+            self.kernels.regular_action(live_idx, rng)
+        else:
+            san.begin("regular_action", live_idx)
+            try:
+                self.kernels.regular_action(live_idx, rng)
+            except BaseException:  # repro-lint: ignore[broad-except] re-raises immediately; only closes the sanitizer recording window first
+                san.abort()
+                raise
+            san.end()
         if profiler is not None:
             profiler.add("regular", time.perf_counter() - t2, calls=len(live_idx))
         self._close_round(rng)
@@ -168,6 +199,28 @@ class FastEngine:
         k = self.kernels
         idx = inbox.dest_idx[rows]
         a = inbox.a[rows]
+        san = self.sanitizer
+        if san is not None:
+            san.begin(KERNEL_NAMES[code], idx)
+            try:
+                self._run_kernel(code, k, idx, a, inbox, rows, rng)
+            except BaseException:  # repro-lint: ignore[broad-except] re-raises immediately; only closes the sanitizer recording window first
+                san.abort()
+                raise
+            san.end()
+            return
+        self._run_kernel(code, k, idx, a, inbox, rows, rng)
+
+    def _run_kernel(
+        self,
+        code: int,
+        k: Kernels,
+        idx: np.ndarray,
+        a: np.ndarray,
+        inbox: RoundInbox,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         if code == LIN:
             k.linearize(idx, a)
         elif code == INCLRL:

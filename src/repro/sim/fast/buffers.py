@@ -27,6 +27,7 @@ per-node sequential semantics are preserved.  See docs/PERF.md.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -66,6 +67,16 @@ TYPE_OF_CODE: tuple[MessageType, ...] = (
 )
 
 CODE_OF_TYPE: dict[MessageType, int] = {t: c for c, t in enumerate(TYPE_OF_CODE)}
+
+
+def _wave_check_enabled() -> bool:
+    """Whether the wave-uniqueness assert runs (``REPRO_CHECK_WAVES=1``).
+
+    Read per call so tests can flip the environment without reimporting;
+    the check additionally requires ``__debug__`` (``python -O`` strips
+    it) because it adds a full sort of the inbox per round.
+    """
+    return os.environ.get("REPRO_CHECK_WAVES", "").lower() not in ("", "0", "false")
 
 #: One staged batch: ``(dest, a, b, c, origin)``.  ``origin`` is the
 #: sender-id column — ``None`` on the fault-free hot path (nothing reads
@@ -369,10 +380,10 @@ def build_inbox(
     # and harmless — any exchangeable tiebreak is still a uniform order.
     if len(dest_idx) and int(dest_idx.max()) < (1 << 21):
         packed = dest_idx.astype(np.int64) << np.int64(42)
-        packed |= rng.integers(0, 1 << 42, size=len(dest_idx), dtype=np.int64)
+        packed |= rng.integers(0, 1 << 42, size=len(dest_idx), dtype=np.int64)  # repro-flow: ignore[flow-branch-rng] both branches draw exactly once per inbox row; the branch picks the sort encoding, not the draw count
         order = np.argsort(packed, kind="stable")
     else:  # pragma: no cover - beyond 2M slots; keep the exact path
-        order = np.lexsort((rng.random(len(dest_idx)), dest_idx))
+        order = np.lexsort((rng.random(len(dest_idx)), dest_idx))  # repro-flow: ignore[flow-branch-rng] same one-draw-per-row budget as the packed fast path above; engines stay draw-for-draw equivalent
     dest_idx = dest_idx[order]
     tcode = tcode[order]
     a, b, c = a[order], b[order], c[order]
@@ -385,6 +396,15 @@ def build_inbox(
     segment_start = np.maximum.accumulate(np.where(boundary, positions, 0))
     rank = positions - segment_start
     n_waves = int(rank.max()) + 1
+    if __debug__ and _wave_check_enabled():
+        # The unique-destination wave precondition every vectorized kernel
+        # relies on: within one wave (rank value) each destination slot
+        # appears at most once.  Holds by construction of ``rank`` —
+        # packing (rank, dest) must therefore be duplicate-free.
+        packed_wave = rank * np.int64(int(dest_idx.max()) + 1) + dest_idx
+        assert np.unique(packed_wave).size == count, (
+            "wave precondition violated: duplicate destination within a wave"
+        )
     return (
         RoundInbox(
             dest_idx=dest_idx,

@@ -230,9 +230,11 @@ class ChaosFastEngine(FastEngine):
         guard: GuardPolicy | None = None,
         dedup: bool = True,
         keep_history: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         super().__init__(
-            states, config, dedup=dedup, keep_history=keep_history
+            states, config, dedup=dedup, keep_history=keep_history,
+            sanitize=sanitize,
         )
         self._wire_faults: list["FaultInjector"] = []
         self._wire = WireRows.empty()

@@ -59,12 +59,12 @@ def corrupt_random_pointers_engine(
             smaller = [other for other in ids if other < nid]
             larger = [other for other in ids if other > nid]
             if smaller:
-                soa.l[i] = smaller[int(rng.integers(len(smaller)))]
+                soa.l[i] = smaller[int(rng.integers(len(smaller)))]  # repro-flow: ignore[flow-branch-rng] draw-for-draw port of PointerCorruption; the reference injector branches and loops identically  # repro-lint: ignore[scalar-loop-over-soa] per-victim scalar writes mirror the reference injector's loop exactly; victims are few
             if larger:
-                soa.r[i] = larger[int(rng.integers(len(larger)))]
-        soa.lrl[i] = ids[int(rng.integers(n))]
-        soa.ring[i] = ids[int(rng.integers(n))]
-        soa.age[i] = int(rng.integers(0, 1000))
+                soa.r[i] = larger[int(rng.integers(len(larger)))]  # repro-flow: ignore[flow-branch-rng] draw-for-draw port of PointerCorruption (see above)
+        soa.lrl[i] = ids[int(rng.integers(n))]  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
+        soa.ring[i] = ids[int(rng.integers(n))]  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
+        soa.age[i] = int(rng.integers(0, 1000))  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
     return count
 
 

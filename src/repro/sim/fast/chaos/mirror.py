@@ -49,9 +49,11 @@ class ChaosMirrorEngine(MirrorEngine):
         guard: GuardPolicy | None = None,
         dedup: bool = True,
         keep_history: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         super().__init__(
-            states, config, dedup=dedup, keep_history=keep_history
+            states, config, dedup=dedup, keep_history=keep_history,
+            sanitize=sanitize,
         )
         self._wire_faults: list["FaultInjector"] = []
         #: Frames in transit: ``(due_tick, dest, frame)``, delivery order.
@@ -91,6 +93,8 @@ class ChaosMirrorEngine(MirrorEngine):
     # Sending through the wire
     # ------------------------------------------------------------------
     def _send(self, dest: float, code: int, *payload: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.record_send(code)
         self.stats.record_send(TYPE_OF_CODE[code])
         if dest not in self.soa:
             # Match ChaosNetwork._dispatch: sends to departed identifiers

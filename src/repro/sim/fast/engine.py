@@ -65,6 +65,7 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
         dedup: bool = True,
         keep_history: bool = False,
         rng: np.random.Generator | int | None = None,
+        sanitize: bool | None = None,
     ) -> "FastSimulator":
         """Build an engine of the requested *mode* and wrap it.
 
@@ -75,6 +76,12 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
         ``mode="mirror-chaos"`` (bit-exact ``ChaosNetwork`` twin) — accept
         a :class:`~repro.sim.chaos.guard.GuardPolicy` via *guard* to
         enable the guarded-handoff transport (docs/CHAOS.md).
+
+        *sanitize* turns on the flow sanitizer
+        (:mod:`repro.sim.fast.sanitize`): per-kernel access recording,
+        wave-uniqueness and store-disjointness asserts, and the static
+        cross-check.  ``None`` (default) defers to ``REPRO_SANITIZE``.
+        Sanitized runs consume no extra draws, so they stay bit-exact.
         """
         engine: AnyFastEngine
         if guard is not None and mode not in ("chaos", "mirror-chaos"):
@@ -84,11 +91,13 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
             )
         if mode == "batched":
             engine = FastEngine(
-                states, config, dedup=dedup, keep_history=keep_history
+                states, config, dedup=dedup, keep_history=keep_history,
+                sanitize=sanitize,
             )
         elif mode == "mirror":
             engine = MirrorEngine(
-                states, config, dedup=dedup, keep_history=keep_history
+                states, config, dedup=dedup, keep_history=keep_history,
+                sanitize=sanitize,
             )
         elif mode == "chaos":
             from repro.sim.fast.chaos import ChaosFastEngine
@@ -99,6 +108,7 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
                 guard=guard,
                 dedup=dedup,
                 keep_history=keep_history,
+                sanitize=sanitize,
             )
         elif mode == "mirror-chaos":
             from repro.sim.fast.chaos import ChaosMirrorEngine
@@ -109,6 +119,7 @@ class FastSimulator(BaseSimulator[AnyFastEngine]):
                 guard=guard,
                 dedup=dedup,
                 keep_history=keep_history,
+                sanitize=sanitize,
             )
         else:
             raise ValueError(

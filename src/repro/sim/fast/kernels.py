@@ -168,13 +168,13 @@ class Kernels:
         new_lrl[take2] = id2[take2]
         s.lrl[idx] = new_lrl
         s.age[idx] += 1
-        phi = forget_probability_array(s.age[idx], self.config.epsilon)
+        phi = forget_probability_array(s.age[idx], self.config.epsilon)  # repro-flow: ignore[flow-read-after-write] reads the post-increment age on purpose: the reference node ages its token before rolling the forget coin
         forget = rng.random(len(idx)) < phi
         fidx = idx[forget]
         if len(fidx):
-            forgotten = s.lrl[fidx].copy()
-            s.lrl[fidx] = s.ids[fidx]
-            s.age[fidx] = 0
+            forgotten = s.lrl[fidx].copy()  # repro-flow: ignore[flow-read-after-write] deliberately snapshots the freshly-stored lrl: forgotten tokens re-enter linearization with their updated value
+            s.lrl[fidx] = s.ids[fidx]  # repro-flow: ignore[flow-write-write] fidx selects a subset of idx rows for a sequential second pass (forget overrides update); same-slot rewrite is the intended semantics
+            s.age[fidx] = 0  # repro-flow: ignore[flow-write-write] same forget subset as the lrl reset above; the age counter restarts for forgotten tokens
             self.linearize(fidx, forgotten)
 
     # ------------------------------------------------------------------
@@ -330,7 +330,7 @@ class Kernels:
             return
         pl = s.l[idx]
         pr = s.r[idx]
-        pring = s.ring[idx]  # may have been bootstrapped by _ring_target
+        pring = s.ring[idx]  # may have been bootstrapped by _ring_target  # repro-flow: ignore[flow-read-after-write] re-read is the point: probing must see ring slots folded to nan above and any bootstrap _ring_target stored
         needs_ring = (pl == NEG_INF) | (pr == POS_INF)
         m = needs_ring & ~np.isnan(pring)
         self._probe_toward(idx[m], pring[m].copy())

@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import time
 from collections.abc import Callable, Iterable
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -50,6 +50,11 @@ from repro.sim.fast.buffers import (
     RING,
     TYPE_OF_CODE,
 )
+from repro.sim.fast.sanitize import (
+    FlowSanitizer,
+    SanitizedSoAState,
+    sanitize_enabled,
+)
 from repro.sim.fast.soa import SoAState
 from repro.sim.metrics import MessageStats
 
@@ -61,6 +66,17 @@ __all__ = ["MirrorEngine"]
 
 #: A wire message: ``(type_code, *payload_ids)``.
 MirrorMessage = tuple[float, ...]
+
+#: Handler method per message-type code (sanitizer recording labels).
+_HANDLER_OF_CODE = {
+    LIN: "_linearize",
+    INCLRL: "_respond_lrl",
+    RESLRL: "_move_forget",
+    RING: "_respond_ring",
+    RESRING: "_update_ring",
+    PROBR: "_probing_r",
+    PROBL: "_probing_l",
+}
 
 #: Optional per-position churn hook: ``after_node(position, node_id)`` runs
 #: after each scheduled node's turn (including skipped dead nodes), exactly
@@ -78,6 +94,7 @@ class MirrorEngine:
         *,
         dedup: bool = True,
         keep_history: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         cfg = config or ProtocolConfig()
         if cfg.trace is not None:
@@ -87,6 +104,16 @@ class MirrorEngine:
             )
         self.config = cfg
         self.soa = SoAState.from_states(states)
+        # The scalar engine funnels every column access through
+        # ``self.soa``, so sanitizing wraps the whole state; recording
+        # stays scoped to handler windows and no draws are added, so a
+        # sanitized run is bit-exact with an unsanitized one.
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer: FlowSanitizer | None = None
+        if sanitize:
+            self.sanitizer = FlowSanitizer.for_mirror()
+            self.soa = cast(SoAState, SanitizedSoAState(self.soa, self.sanitizer))
         self.dedup = dedup
         self.stats = MessageStats(keep_history=keep_history)
         #: Messages sent to identifiers that no longer exist (dropped).
@@ -106,6 +133,8 @@ class MirrorEngine:
     # Wire
     # ------------------------------------------------------------------
     def _send(self, dest: float, code: int, *payload: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.record_send(code)
         self.stats.record_send(TYPE_OF_CODE[code])
         if dest in self.soa:
             self._staging.append((dest, (code, *payload)))
@@ -162,7 +191,7 @@ class MirrorEngine:
                     if self._sets is not None:
                         self._sets[nid] = set()
                     if len(msgs) > 1:
-                        perm = rng.permutation(len(msgs))
+                        perm = rng.permutation(len(msgs))  # repro-flow: ignore[flow-branch-rng] deliberate draw-for-draw match of Channel.drain, which also permutes only multi-message queues
                         msgs = [msgs[j] for j in perm]
                     for msg in msgs:
                         self._on_message(i, msg, rng)
@@ -286,6 +315,21 @@ class MirrorEngine:
     def _on_message(
         self, i: int, msg: MirrorMessage, rng: np.random.Generator
     ) -> None:
+        san = self.sanitizer
+        if san is None:
+            self._dispatch_message(i, msg, rng)
+            return
+        san.begin(_HANDLER_OF_CODE.get(msg[0], "_on_message"))
+        try:
+            self._dispatch_message(i, msg, rng)
+        except BaseException:  # repro-lint: ignore[broad-except] re-raises immediately; only closes the sanitizer recording window first
+            san.abort()
+            raise
+        san.end()
+
+    def _dispatch_message(
+        self, i: int, msg: MirrorMessage, rng: np.random.Generator
+    ) -> None:
         code = msg[0]
         if code == LIN:
             self._linearize(i, msg[1])
@@ -369,7 +413,7 @@ class MirrorEngine:
         if responder != s.lrl[i]:
             return  # stale response from a previous endpoint
         if id1 > NEG_INF and id2 < POS_INF:
-            s.lrl[i] = id1 if rng.random() < 0.5 else id2
+            s.lrl[i] = id1 if rng.random() < 0.5 else id2  # repro-flow: ignore[flow-branch-rng] exact port of the reference node's conditional coin; both engines branch on the same message payload, so draw counts stay aligned
         elif id1 > NEG_INF:
             s.lrl[i] = id1
         elif id2 < POS_INF:
@@ -457,6 +501,19 @@ class MirrorEngine:
     # Algorithms 9/10 — the regular action
     # ------------------------------------------------------------------
     def _regular_action(self, i: int) -> None:
+        san = self.sanitizer
+        if san is None:
+            self._run_regular(i)
+            return
+        san.begin("_run_regular")
+        try:
+            self._run_regular(i)
+        except BaseException:  # repro-lint: ignore[broad-except] re-raises immediately; only closes the sanitizer recording window first
+            san.abort()
+            raise
+        san.end()
+
+    def _run_regular(self, i: int) -> None:
         s = self.soa
         needs_ring = s.l[i] == NEG_INF or s.r[i] == POS_INF
         if not needs_ring and not math.isnan(s.ring[i]):
@@ -497,7 +554,7 @@ class MirrorEngine:
         )
         for candidate in candidates:
             if candidate is not None and candidate != pid:
-                s.ring[i] = candidate
+                s.ring[i] = candidate  # repro-lint: ignore[scalar-loop-over-soa] the mirror engine is the deliberate scalar port; three candidates, first-match semantics
                 return candidate
         return None
 

@@ -195,7 +195,7 @@ class SoAState:
         out: dict[float, StateTuple] = {}
         _, idx = self.sorted_live()
         for i in idx:
-            ring = self.ring[i]
+            ring = self.ring[i]  # repro-lint: ignore[scalar-loop-over-soa] boundary export to per-node dicts is inherently scalar; not on the round hot path
             out[float(self.ids[i])] = (
                 float(self.ids[i]),
                 float(self.l[i]),
@@ -211,7 +211,7 @@ class SoAState:
         states = []
         _, idx = self.sorted_live()
         for i in idx:
-            ring = self.ring[i]
+            ring = self.ring[i]  # repro-lint: ignore[scalar-loop-over-soa] boundary export to NodeState objects is inherently scalar; not on the round hot path
             states.append(
                 NodeState(
                     id=float(self.ids[i]),

@@ -1,0 +1,15 @@
+"""Scalar loop over SoA columns (linted under a ``sim/fast`` path)."""
+
+import numpy as np
+
+
+def slow_export(soa, idx):
+    out = []
+    for i in idx:
+        out.append(float(soa.ids[i]))  # EXPECT scalar-loop-over-soa
+    return out
+
+
+def fast_export(soa, idx):
+    # The vectorized counterpart stays silent.
+    return np.asarray(soa.ids[idx], dtype=float).tolist()

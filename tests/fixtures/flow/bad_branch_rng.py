@@ -1,0 +1,17 @@
+"""Seeded hazard: RNG draws whose count depends on data."""
+
+
+def kernel_draw_in_loop(soa, idx, rng):
+    for i in idx:
+        soa.age[i] = rng.integers(10)  # EXPECT flow-branch-rng (loop)
+
+
+def kernel_draw_in_branch(soa, idx, rng):
+    if soa.alive[idx].any():
+        soa.lrl[idx] = rng.random(len(idx))  # EXPECT flow-branch-rng (branch)
+
+
+def kernel_config_branch_is_fine(soa, idx, rng, cfg):
+    # A configuration-only test keeps the draw count data-independent.
+    if cfg.mode == "hash":
+        soa.lrl[idx] = rng.random(len(idx))

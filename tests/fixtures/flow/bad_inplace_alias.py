@@ -1,0 +1,16 @@
+"""Seeded hazard: in-place ops whose source and destination overlap."""
+
+import numpy as np
+
+
+def kernel_shifted_augassign(soa):
+    soa.l[1:] += soa.l[:-1]  # EXPECT flow-inplace-alias
+
+
+def kernel_out_kwarg(soa, shift):
+    np.add(soa.age, shift, out=soa.age)  # EXPECT flow-inplace-alias
+
+
+def kernel_view_alias(soa):
+    ages = soa.age
+    ages += ages[::-1]  # EXPECT flow-inplace-alias (through the view local)

@@ -1,0 +1,20 @@
+"""Seeded hazard: two vector stores into one column, masks not disjoint."""
+
+
+def kernel_overlapping_masks(soa, idx, vals):
+    hot = vals > 0.5
+    cold = vals < 0.9  # overlaps ``hot`` on (0.5, 0.9)
+    soa.lrl[idx[hot]] = vals[idx[hot]]
+    soa.lrl[idx[cold]] = 0.0  # EXPECT flow-write-write
+
+
+def kernel_unmasked_second_store(soa, idx, vals):
+    soa.age[idx] = vals
+    soa.age[idx] = vals + 1  # EXPECT flow-write-write (same rows twice)
+
+
+def kernel_rebound_index(soa, idx, other_idx, vals):
+    keep = vals > 0
+    soa.ring[idx[keep]] = vals[idx[keep]]
+    idx = other_idx  # rebinding kills the disjointness argument
+    soa.ring[idx[~keep]] = 0.0  # EXPECT flow-write-write (version changed)

@@ -1,0 +1,14 @@
+"""Seeded hazard: column read after a vector store to it."""
+
+
+def kernel_read_after_store(soa, idx, vals):
+    soa.age[idx] = vals
+    total = soa.age[idx].sum()  # EXPECT flow-read-after-write
+    return total
+
+
+def kernel_branch_header_read(soa, idx, vals):
+    soa.ring[idx] = vals
+    if soa.ring[idx].any():  # EXPECT flow-read-after-write
+        return True
+    return False

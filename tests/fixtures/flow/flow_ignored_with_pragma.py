@@ -1,0 +1,10 @@
+"""Hazards suppressed by ``repro-flow`` pragmas: must report clean."""
+
+
+def kernel_pragma_suppressed(soa, idx, vals, rng):
+    soa.age[idx] = vals
+    soa.age[idx] = vals + 1  # repro-flow: ignore[flow-write-write] fixture: deliberate second pass over the same rows
+    total = soa.age[idx].sum()  # repro-flow: ignore[flow-read-after-write] fixture: the re-read is the point
+    for i in idx:
+        soa.ring[i] = rng.random()  # repro-flow: ignore[flow-branch-rng] fixture: draw-for-draw port
+    return total

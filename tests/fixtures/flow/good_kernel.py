@@ -1,0 +1,30 @@
+"""A disciplined kernel: must produce zero flow findings.
+
+Covers the clean paths the rules must not misfire on: columns read once
+at entry, a provably-disjoint ``m`` / ``~m`` store pair (the SAT prover's
+clean verdict), scalar stores (the mirror engine's sequential idiom), a
+hoisted draw, and a configuration-pure branch.
+"""
+
+
+def kernel_disciplined(soa, idx, vals, rng):
+    age = soa.age[idx]
+    keys = rng.random(len(idx))  # hoisted: one draw site, unconditional
+    m = vals > age
+    soa.lrl[idx[m]] = vals[m]
+    soa.lrl[idx[~m]] = keys[~m]  # disjoint complement of the store above
+    soa.age[idx] = age + 1
+
+
+def scalar_port(soa, i: int, value):
+    # Scalar same-slot rewrites are sequential and well-defined.
+    soa.ring[i] = value
+    soa.ring[i] = value + 1
+    if soa.ring[i] > 0:
+        soa.age[i] = 0
+
+
+def config_pure_branch(soa, idx, rng, cfg):
+    if cfg.dedup and cfg.mode == "set":
+        keys = rng.random(len(idx))
+        soa.lrl[idx] = keys

@@ -268,9 +268,8 @@ def test_unreadable_file_is_a_finding_not_a_crash(tmp_path):
 
 
 def test_exit_code_semantics():
-    # The catalogue currently has no warning-severity rules (the ratchet
-    # has promoted them all), so strict-mode semantics are pinned with a
-    # synthetic warning finding.
+    # Strict-mode semantics pinned with a synthetic warning finding
+    # (real warning-rule coverage: test_scalar_loop_over_soa_*).
     from repro.analysis.lint.findings import Finding
 
     warnings = [
@@ -315,3 +314,25 @@ def test_registry_is_consistent():
         assert RULES_BY_ID[rule.id] is rule
         assert rule.summary
         assert rule.grounding
+
+
+# ----------------------------------------------------------------------
+# scalar-loop-over-soa (advisory; path-gated to repro/sim/fast)
+# ----------------------------------------------------------------------
+def test_scalar_loop_over_soa_fires_under_fast_path():
+    source = (FIXTURES / "bad_scalar_loop.py").read_text(encoding="utf-8")
+    findings = lint_source("src/repro/sim/fast/snippet.py", source)
+    assert fired(findings) == {"scalar-loop-over-soa"}
+    (finding,) = findings  # one finding per loop; the vectorized twin is clean
+    assert finding.severity is Severity.WARNING
+    assert finding.line == 9
+    assert "slow_export" in finding.message
+    assert exit_code(findings) == 0  # advisory …
+    assert exit_code(findings, strict=True) == 1  # … until the ratchet
+
+
+def test_scalar_loop_over_soa_is_path_gated():
+    # The same loop outside repro/sim/fast is fine — scalar exports and
+    # reference-engine code are allowed to iterate.
+    findings = lint_fixture("bad_scalar_loop.py")
+    assert findings == []
