@@ -19,8 +19,12 @@ from repro.experiments.registry import get_experiment
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def run_and_report(benchmark, experiment_id: str, **params):
-    """Run one experiment driver under benchmark timing; report its table."""
+def run_and_report(benchmark, experiment_id: str, *, tag: str | None = None, **params):
+    """Run one experiment driver under benchmark timing; report its table.
+
+    *tag* distinguishes the archived table when one experiment is benched
+    under several configurations (e.g. ``e06`` vs ``e06_fast``).
+    """
     spec = get_experiment(experiment_id)
     result = benchmark.pedantic(
         lambda: spec.run(**params), rounds=1, iterations=1
@@ -29,5 +33,6 @@ def run_and_report(benchmark, experiment_id: str, **params):
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    name = experiment_id if tag is None else f"{experiment_id}_{tag}"
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return result

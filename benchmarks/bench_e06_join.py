@@ -1,5 +1,9 @@
 """E6 — join recovery cost (Theorem 4.24)."""
 
+import os
+
+import pytest
+
 from _harness import run_and_report
 
 
@@ -13,5 +17,27 @@ def test_e06_join(benchmark):
     rows = result.rows
     # Polylog shape: recovery at the largest size must stay within a small
     # factor of ln^{2.1} n — nowhere near linear growth.
+    assert rows[-1]["rounds_mean"] < 3.0 * rows[-1]["ln21_n"]
+    assert rows[-1]["rounds_mean"] < 0.25 * rows[-1]["n"]
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_FAST") != "1",
+    reason="opt-in: set REPRO_BENCH_FAST=1 (batched-engine variant)",
+)
+def test_e06_join_fast(benchmark):
+    """Same claim on the batched engine, one size tier up (statistical
+    twin: the batched RNG draws in wave order, so the shape assertions
+    hold but the numbers are not bit-identical to the reference rows)."""
+    result = run_and_report(
+        benchmark,
+        "e06",
+        tag="fast",
+        sizes=(256, 1024, 4096),
+        trials=3,
+        engine="fast",
+    )
+    rows = result.rows
+    assert result.params["engine"] == "fast"
     assert rows[-1]["rounds_mean"] < 3.0 * rows[-1]["ln21_n"]
     assert rows[-1]["rounds_mean"] < 0.25 * rows[-1]["n"]

@@ -1,5 +1,9 @@
 """E7 — leave recovery cost (Theorem 4.24), interior and extremal."""
 
+import os
+
+import pytest
+
 from _harness import run_and_report
 
 
@@ -22,3 +26,26 @@ def test_e07_leave(benchmark):
     # No linear blow-up: going 64 → 512 (8x) costs < 3x rounds.
     ext = {r["n"]: r["rounds_mean"] for r in result.rows if r["scenario"] == "extremal_min"}
     assert ext[512] < 3 * max(ext[64], 10)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_FAST") != "1",
+    reason="opt-in: set REPRO_BENCH_FAST=1 (batched-engine variant)",
+)
+def test_e07_leave_fast(benchmark):
+    """Same claim on the batched engine, one size tier up (statistical
+    twin — see ``bench_e06_join.test_e06_join_fast``)."""
+    result = run_and_report(
+        benchmark,
+        "e07",
+        tag="fast",
+        sizes=(256, 1024, 4096),
+        trials=3,
+        engine="fast",
+    )
+    assert result.params["engine"] == "fast"
+    for row in result.rows:
+        assert row["rounds_mean"] < 0.5 * row["n"]
+        assert row["rounds_mean"] < 2.5 * row["ln21_n"]
+    ext = {r["n"]: r["rounds_mean"] for r in result.rows if r["scenario"] == "extremal_min"}
+    assert ext[4096] < 3 * max(ext[256], 10)

@@ -1,0 +1,158 @@
+"""Recovery-cost-vs-n curve for membership storms (docs/CHAOS.md).
+
+Generates ``BENCH_churn_scale.json``: for each network size, a stable
+batched-engine overlay absorbs the three canonical storms
+(:data:`repro.churn.storms.STORMS`) in sequence, and each leg records
+rounds-to-reconverge plus net extra messages per membership event.  The
+warm-up (the expensive part at n ≈ 50k) is paid once per size — after a
+recovered leg the overlay is stable again, so the next storm reuses it
+via ``storm_recovery_trial(..., sim=...)``.
+
+The curve is the at-scale test of Theorem 4.24's ``O(ln^{2+ε} n)`` update
+cost: the script exits non-zero if any leg fails to reconverge within the
+polylog round cap, or if recovery rounds grow faster than ``ln^{2.1} n``
+across the sweep (largest-vs-smallest normalized ratio above
+``GROWTH_SLACK``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/churn_scale.py            # full sweep
+    PYTHONPATH=src python benchmarks/churn_scale.py --sizes 2048,6144,12288
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+
+OUT = pathlib.Path(__file__).parent.parent / "BENCH_churn_scale.json"
+
+SIZES = (6144, 12288, 24576, 49152)
+STORM_ORDER = ("flash_crowd", "correlated_departure", "partition_heal")
+SEED = 424
+
+#: Max allowed growth of ``recovery_rounds / ln^{2.1} n`` from the
+#: smallest to the largest size, per storm.  Polylog recovery keeps this
+#: ratio flat; linear recovery at an 8x size spread would push it past 4.
+GROWTH_SLACK = 3.0
+
+
+def measure(sizes: tuple[int, ...]) -> list[dict]:
+    from repro.churn.experiments import stable_simulator
+    from repro.churn.scale import storm_recovery_trial
+    from repro.experiments.common import seed_rng
+
+    rows: list[dict] = []
+    for n in sizes:
+        t0 = time.perf_counter()
+        sim = stable_simulator(n, seed_rng(SEED, n), None, engine="fast")
+        print(
+            f"churn-scale: n={n} warmed up in "
+            f"{time.perf_counter() - t0:.1f}s",
+            flush=True,
+        )
+        for storm in STORM_ORDER:
+            t0 = time.perf_counter()
+            res = storm_recovery_trial(
+                n, storm=storm, seed=SEED, engine="fast", sim=sim
+            )
+            seconds = time.perf_counter() - t0
+            rows.append(
+                {
+                    "n_target": n,
+                    "n": res.n,
+                    "storm": storm,
+                    "events": res.events,
+                    "recovery_rounds": res.rounds,
+                    "extra_messages": round(res.extra_messages, 1),
+                    "per_event_messages": round(res.per_event_messages, 2),
+                    "baseline_rate": round(res.baseline_rate, 1),
+                    "recovered": res.recovered,
+                    "seconds": round(seconds, 2),
+                    "ln21_n": round(math.log(res.n) ** 2.1, 1),
+                }
+            )
+            print(
+                f"churn-scale: n={res.n} {storm}: {res.events} events, "
+                f"{res.rounds} rounds, "
+                f"{res.per_event_messages:.1f} msgs/event "
+                f"({seconds:.1f}s)"
+                f"{'' if res.recovered else '  ** NOT RECOVERED **'}",
+                flush=True,
+            )
+    return rows
+
+
+def check(rows: list[dict]) -> list[str]:
+    """The polylog gates; returns human-readable failures."""
+    failures = [
+        f"{r['storm']} at n={r['n']} did not reconverge within the cap"
+        for r in rows
+        if not r["recovered"]
+    ]
+    for storm in STORM_ORDER:
+        srows = sorted(
+            (r for r in rows if r["storm"] == storm), key=lambda r: r["n"]
+        )
+        if len(srows) < 2:
+            continue
+        lo, hi = srows[0], srows[-1]
+        ratio_lo = max(lo["recovery_rounds"], 1) / lo["ln21_n"]
+        ratio_hi = max(hi["recovery_rounds"], 1) / hi["ln21_n"]
+        if ratio_hi > GROWTH_SLACK * ratio_lo:
+            failures.append(
+                f"{storm}: rounds/ln^2.1(n) grew "
+                f"{ratio_hi / ratio_lo:.1f}x from n={lo['n']} to "
+                f"n={hi['n']} (slack {GROWTH_SLACK}x) - recovery is "
+                "not tracking polylog"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in SIZES),
+        help="comma-separated network sizes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and gate only; leave BENCH_churn_scale.json alone",
+    )
+    args = parser.parse_args(argv)
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    if len(sizes) < 3:
+        parser.error("need at least 3 sizes for a curve")
+
+    rows = measure(sizes)
+    failures = check(rows)
+    for failure in failures:
+        print(f"churn-scale: FAIL: {failure}")
+
+    if not args.no_write:
+        entry = {
+            "bench": "churn_scale",
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "engine": "fast",
+            "seed": SEED,
+            "claim": "Theorem 4.24 at scale: storm recovery rounds track "
+            "O(ln^{2+eps} n); per-event message cost stays polylog",
+            "gate": f"recovered on every leg; normalized round growth "
+            f"<= {GROWTH_SLACK}x across the sweep",
+            "rows": rows,
+        }
+        OUT.write_text(json.dumps([entry], indent=2) + "\n")
+        print(f"churn-scale: recorded {len(rows)} legs to {OUT}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

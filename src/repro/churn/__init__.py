@@ -6,7 +6,13 @@
   paper's "the connections it had to and from other nodes also disappear").
 * :mod:`repro.churn.experiments` — recovery-cost measurement: rounds and
   net extra messages until the sorted-ring invariant holds again
-  (Theorem 4.24's ``O(ln^{2+ε} n)`` claims, experiments E6/E7).
+  (Theorem 4.24's ``O(ln^{2+ε} n)`` claims, experiments E6/E7), on either
+  engine.
+* :mod:`repro.churn.storms` — batched membership storms (flash crowds,
+  correlated departures, partition-then-heal) as composable campaign
+  faults over the :class:`~repro.churn.storms.ChurnPlan` DSL.
+* :mod:`repro.churn.scale` — storm recovery cost at production scale
+  (the ``BENCH_churn_scale.json`` curve).
 """
 
 from repro.churn.experiments import (
@@ -14,9 +20,20 @@ from repro.churn.experiments import (
     join_recovery_trial,
     leave_recovery_trial,
     measure_recovery,
+    stable_simulator,
+    steady_state_rate,
 )
 from repro.churn.join import join_node
 from repro.churn.leave import leave_node
+from repro.churn.scale import StormRecovery, storm_recovery_trial
+from repro.churn.storms import (
+    STORMS,
+    ChurnPlan,
+    ChurnStorm,
+    CorrelatedDeparture,
+    FlashCrowd,
+    PartitionHeal,
+)
 
 __all__ = [
     "RecoveryResult",
@@ -25,4 +42,14 @@ __all__ = [
     "leave_node",
     "leave_recovery_trial",
     "measure_recovery",
+    "stable_simulator",
+    "steady_state_rate",
+    "StormRecovery",
+    "storm_recovery_trial",
+    "STORMS",
+    "ChurnPlan",
+    "ChurnStorm",
+    "CorrelatedDeparture",
+    "FlashCrowd",
+    "PartitionHeal",
 ]

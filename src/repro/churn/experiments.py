@@ -12,12 +12,19 @@ sorted-ring invariant holds again over the new node set.  Reported costs:
   protocol's regular action sends Θ(n) maintenance messages per round
   regardless, so raw totals would measure the maintenance rate, not the
   recovery.
+
+Every trial is **host-generic** (``engine="reference"`` or
+``engine="fast"``): the batched engine runs the same measurement at sizes
+the reference stack cannot reach — that is what the storm-scale benchmark
+(:mod:`repro.churn.scale`, ``BENCH_churn_scale.json``) builds on.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -27,14 +34,19 @@ from repro.churn.leave import leave_node
 from repro.graphs.build import stable_ring_states
 from repro.graphs.predicates import is_sorted_ring
 from repro.ids import generate_ids
-from repro.sim.engine import Simulator
+from repro.sim.engine import BaseSimulator, Simulator
 
 __all__ = [
     "RecoveryResult",
     "measure_recovery",
     "join_recovery_trial",
     "leave_recovery_trial",
+    "stable_simulator",
+    "steady_state_rate",
 ]
+
+#: Either driver: the reference Simulator or a FastSimulator.
+AnySimulator = BaseSimulator[Any]
 
 
 @dataclass(frozen=True)
@@ -48,31 +60,50 @@ class RecoveryResult:
     baseline_rate: float
 
 
-def _steady_state_rate(sim: Simulator, rounds: int = 10) -> float:
+def _membership_host(sim: AnySimulator) -> Any:
+    """The object holding membership and stats: network or fast engine."""
+    network = getattr(sim, "network", None)
+    return network if network is not None else sim.engine  # type: ignore[attr-defined]
+
+
+def _ring_predicate(sim: AnySimulator) -> Callable[[Any], bool]:
+    """The sorted-ring predicate over the simulator's predicate target."""
+    if getattr(sim, "network", None) is not None:
+        return lambda net: is_sorted_ring(net.states())
+    from repro.sim.fast.predicates import fast_is_sorted_ring
+
+    return fast_is_sorted_ring
+
+
+def steady_state_rate(sim: AnySimulator, rounds: int = 10) -> float:
     """Messages per round in the stable state (maintenance traffic)."""
-    before = sim.network.stats.total
+    host = _membership_host(sim)
+    before = host.stats.total
     sim.run(rounds)
-    return (sim.network.stats.total - before) / rounds
+    return float(host.stats.total - before) / rounds
+
+
+# Backward-compatible alias (the private name predates engine support).
+_steady_state_rate = steady_state_rate
 
 
 def measure_recovery(
-    sim: Simulator,
+    sim: AnySimulator,
     *,
     max_rounds: int,
     baseline_rate: float,
     what: str = "recovery",
 ) -> RecoveryResult:
     """Run *sim* until the sorted ring holds again; return the cost."""
-    before = sim.network.stats.total
+    host = _membership_host(sim)
+    before = host.stats.total
     rounds = sim.run_until(
-        lambda net: is_sorted_ring(net.states()),
-        max_rounds=max_rounds,
-        what=what,
+        _ring_predicate(sim), max_rounds=max_rounds, what=what
     )
-    total = sim.network.stats.total - before
+    total = int(host.stats.total - before)
     extra = total - baseline_rate * rounds
     return RecoveryResult(
-        n=len(sim.network),
+        n=len(host),
         rounds=rounds,
         total_messages=total,
         extra_messages=float(max(extra, 0.0)),
@@ -80,19 +111,45 @@ def measure_recovery(
     )
 
 
-def _stable_simulator(
+def stable_simulator(
     n: int,
     rng: np.random.Generator,
-    config: ProtocolConfig | None,
-) -> Simulator:
+    config: ProtocolConfig | None = None,
+    *,
+    engine: str = "reference",
+) -> AnySimulator:
+    """A warmed-up simulator over a stable n-node ring, on either engine."""
     states = stable_ring_states(n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng))
-    net = build_network(states, config)
-    sim = Simulator(net, rng)
+    sim: AnySimulator
+    if engine == "reference":
+        net = build_network(states, config)
+        sim = Simulator(net, rng)
+    elif engine == "fast":
+        from repro.sim.fast import FastSimulator
+
+        sim = FastSimulator.from_states(
+            states, config, mode="batched", rng=rng
+        )
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'reference' or 'fast'"
+        )
     # Warm up until the in-flight probe population reaches steady state —
     # probes live for E[path length] ≈ ln^2 n rounds, so measuring the
     # baseline message rate any earlier would undercount it and inflate the
     # "extra messages" attributed to the churn event.
     sim.run(10 + int(math.log(n) ** 2))
+    return sim
+
+
+# Backward-compatible alias.
+def _stable_simulator(
+    n: int,
+    rng: np.random.Generator,
+    config: ProtocolConfig | None,
+) -> Simulator:
+    sim = stable_simulator(n, rng, config, engine="reference")
+    assert isinstance(sim, Simulator)
     return sim
 
 
@@ -102,18 +159,23 @@ def join_recovery_trial(
     *,
     config: ProtocolConfig | None = None,
     max_rounds: int | None = None,
+    engine: str = "reference",
 ) -> RecoveryResult:
     """One join event on a stable n-node network (experiment E6)."""
     if n < 4:
         raise ValueError("n must be at least 4")
-    sim = _stable_simulator(n, rng, config)
-    rate = _steady_state_rate(sim)
-    ids = sim.network.ids
+    sim = stable_simulator(n, rng, config, engine=engine)
+    rate = steady_state_rate(sim)
+    host = _membership_host(sim)
+    ids = host.ids
     new_id = generate_ids(1, rng)[0]
-    while new_id in sim.network:  # pragma: no cover - measure-zero collision
+    while new_id in host:  # pragma: no cover - measure-zero collision
         new_id = generate_ids(1, rng)[0]
     contact = ids[int(rng.integers(len(ids)))]
-    join_node(sim.network, new_id, contact)
+    if engine == "reference":
+        join_node(sim.network, new_id, contact)  # type: ignore[attr-defined]
+    else:
+        host.join(new_id, contact)
     cap = max_rounds if max_rounds is not None else max(200, 4 * n)
     return measure_recovery(
         sim, max_rounds=cap, baseline_rate=rate, what=f"join recovery (n={n})"
@@ -127,6 +189,7 @@ def leave_recovery_trial(
     config: ProtocolConfig | None = None,
     max_rounds: int | None = None,
     extremal: bool = False,
+    engine: str = "reference",
 ) -> RecoveryResult:
     """One leave event on a stable n-node network (experiment E7).
 
@@ -136,14 +199,18 @@ def leave_recovery_trial(
     """
     if n < 4:
         raise ValueError("n must be at least 4")
-    sim = _stable_simulator(n, rng, config)
-    rate = _steady_state_rate(sim)
-    ids = sim.network.ids
+    sim = stable_simulator(n, rng, config, engine=engine)
+    rate = steady_state_rate(sim)
+    host = _membership_host(sim)
+    ids = host.ids
     if extremal:
         victim = ids[0]
     else:
         victim = ids[int(rng.integers(1, len(ids) - 1))]
-    leave_node(sim.network, victim)
+    if engine == "reference":
+        leave_node(sim.network, victim)  # type: ignore[attr-defined]
+    else:
+        host.leave(victim)
     cap = max_rounds if max_rounds is not None else max(200, 4 * n)
     return measure_recovery(
         sim, max_rounds=cap, baseline_rate=rate, what=f"leave recovery (n={n})"

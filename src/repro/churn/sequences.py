@@ -12,12 +12,21 @@ with configurable probabilities, and the run records
   from perfect the structure strays under sustained pressure),
 * greedy-routing success over the live membership sampled periodically.
 
-Experiment E17 sweeps the churn rate and reports the degradation curve.
+The workload is host-generic: against a reference :class:`Simulator` it
+uses the scalar §IV-G helpers, against a
+:class:`~repro.sim.fast.FastSimulator` it drives the batched engine's
+membership operations, with the per-round measurements vectorized over the
+SoA columns (the draw sequence is identical on both hosts, so twin-seeded
+runs make the same membership decisions).
+
+Experiment E17 sweeps the churn rate and reports the degradation curve;
+its storm legs (:mod:`repro.churn.storms`) stress batched events instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -26,7 +35,11 @@ from repro.churn.join import join_node
 from repro.churn.leave import leave_node
 from repro.graphs.predicates import is_sorted_ring
 from repro.ids import is_real
-from repro.sim.engine import Simulator
+from repro.sim.engine import BaseSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fast.batched import FastEngine
+    from repro.sim.fast.mirror import MirrorEngine
 
 __all__ = ["ChurnWorkload", "ChurnReport"]
 
@@ -76,7 +89,7 @@ class ChurnWorkload:
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: BaseSimulator[Any],
         rng: np.random.Generator,
         *,
         join_probability: float,
@@ -96,31 +109,65 @@ class ChurnWorkload:
         self.min_size = min_size
         self.route_every = route_every
         self.route_queries = route_queries
+        #: The reference network, or None on a fast-engine host.
+        self.network = getattr(simulator, "network", None)
+        self.engine: "FastEngine | MirrorEngine | None" = (
+            None if self.network is not None else simulator.engine  # type: ignore[attr-defined]
+        )
+
+    @property
+    def _host(self) -> Any:
+        return self.network if self.network is not None else self.engine
 
     def _maybe_join(self, report: ChurnReport) -> None:
-        net = self.simulator.network
+        host = self._host
         if self.rng.random() >= self.join_probability:
             return
         new_id = float(self.rng.random())
-        while new_id in net:
+        while new_id in host:  # pragma: no cover - measure-zero collision
             new_id = float(self.rng.random())
-        ids = net.ids
+        ids = host.ids
         contact = ids[int(self.rng.integers(len(ids)))]
-        join_node(net, new_id, contact)
+        if self.network is not None:
+            join_node(self.network, new_id, contact)
+        else:
+            host.join(new_id, contact)
         report.joins += 1
 
     def _maybe_leave(self, report: ChurnReport) -> None:
-        net = self.simulator.network
-        if len(net) <= self.min_size:
+        host = self._host
+        if len(host) <= self.min_size:
             return
         if self.rng.random() >= self.leave_probability:
             return
-        ids = net.ids
-        leave_node(net, ids[int(self.rng.integers(len(ids)))])
+        ids = host.ids
+        victim = ids[int(self.rng.integers(len(ids)))]
+        if self.network is not None:
+            leave_node(self.network, victim)
+        else:
+            host.leave(victim)
         report.leaves += 1
 
+    def _ring_holds(self) -> bool:
+        if self.network is not None:
+            return is_sorted_ring(self.network.states())
+        from repro.sim.fast.predicates import fast_is_sorted_ring
+
+        assert self.engine is not None
+        return fast_is_sorted_ring(self.engine)
+
     def _pair_fraction(self) -> float:
-        states = self.simulator.network.states()
+        if self.network is None:
+            assert self.engine is not None
+            soa = self.engine.soa
+            ids, idx = soa.sorted_live()
+            if len(ids) < 2:
+                return 1.0
+            good = np.count_nonzero(
+                (soa.r[idx][:-1] == ids[1:]) & (soa.l[idx][1:] == ids[:-1])
+            )
+            return float(good) / (len(ids) - 1)
+        states = self.network.states()
         ordered = sorted(states)
         if len(ordered) < 2:
             return 1.0
@@ -131,15 +178,24 @@ class ChurnWorkload:
         )
         return good / (len(ordered) - 1)
 
-    def _sample_routing(self, report: ChurnReport) -> None:
-        """Greedy routing over the *actual stored links* of the moment.
-
-        Mid-churn, a node's real neighbors may differ from its rank
-        neighbors, so the sample routes over each node's stored (l, r,
-        lrl) only — dead ends count as failures.
-        """
-        net = self.simulator.network
-        states = net.states()
+    def _neighbor_matrix(self) -> np.ndarray:
+        """Rank-indexed ``(n, 4)`` stored-link matrix (−1 = no live link)."""
+        if self.network is None:
+            assert self.engine is not None
+            soa = self.engine.soa
+            ids, idx = soa.sorted_live()
+            n = len(ids)
+            neighbors = np.full((n, 4), -1, dtype=np.int64)
+            for j, col in enumerate((soa.l, soa.r, soa.lrl, soa.ring)):
+                vals = col[idx]
+                real = np.isfinite(vals)
+                pos = np.searchsorted(ids, vals[real])
+                pos = np.minimum(pos, n - 1)
+                live = ids[pos] == vals[real]
+                rows = np.flatnonzero(real)[live]
+                neighbors[rows, j] = pos[live]
+            return neighbors
+        states = self.network.states()
         ordered = sorted(states)
         n = len(ordered)
         rank = {v: i for i, v in enumerate(ordered)}
@@ -150,6 +206,17 @@ class ChurnWorkload:
             for j, target in enumerate(links):
                 if target is not None and is_real(target) and target in rank:
                     neighbors[i, j] = rank[target]
+        return neighbors
+
+    def _sample_routing(self, report: ChurnReport) -> None:
+        """Greedy routing over the *actual stored links* of the moment.
+
+        Mid-churn, a node's real neighbors may differ from its rank
+        neighbors, so the sample routes over each node's stored (l, r,
+        lrl, ring) only — dead ends count as failures.
+        """
+        neighbors = self._neighbor_matrix()
+        n = len(neighbors)
         q = self.route_queries
         src = self.rng.integers(0, n, q)
         dst = self.rng.integers(0, n, q)
@@ -170,11 +237,10 @@ class ChurnWorkload:
             self._maybe_leave(report)
             self.simulator.step_round()
             report.rounds += 1
-            net = self.simulator.network
-            report.min_size = min(report.min_size, len(net))
-            report.ring_rounds += int(is_sorted_ring(net.states()))
+            report.min_size = min(report.min_size, len(self._host))
+            report.ring_rounds += int(self._ring_holds())
             report.pair_fraction_sum += self._pair_fraction()
             if (r + 1) % self.route_every == 0:
                 self._sample_routing(report)
-        report.final_size = len(self.simulator.network)
+        report.final_size = len(self._host)
         return report

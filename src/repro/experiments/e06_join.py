@@ -26,19 +26,25 @@ def run(
     sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
     trials: int = 5,
     seed: int = 6,
+    engine: str = "reference",
 ) -> ExperimentResult:
-    """One row per n: recovery rounds and extra messages, trial-averaged."""
+    """One row per n: recovery rounds and extra messages, trial-averaged.
+
+    ``engine="fast"`` runs the trials on the batched engine (structurally
+    conformant rows; the batched RNG draws in a different order, so the
+    numbers are statistical twins, not bit-identical).
+    """
     result = ExperimentResult(
         experiment="e06",
         title="Recovery cost of a node join",
         claim="Theorem 4.24: join integrates in O(ln^{2+eps} n) steps",
-        params={"sizes": sizes, "trials": trials, "seed": seed},
+        params={"sizes": sizes, "trials": trials, "seed": seed, "engine": engine},
     )
     for n in sizes:
         rounds, extra = [], []
         for t in range(trials):
             rng = seed_rng(seed, n, t)
-            res = join_recovery_trial(n, rng)
+            res = join_recovery_trial(n, rng, engine=engine)
             rounds.append(res.rounds)
             extra.append(res.extra_messages)
         s = summarize(np.array(rounds, dtype=float))

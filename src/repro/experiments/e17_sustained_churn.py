@@ -14,11 +14,24 @@ The paper's positioning ("designed for a large and highly dynamical
 setting", §I) predicts the pair fraction and routing success stay high
 well past the point where perfect-ring availability drops — the overlay
 degrades locally, not globally.
+
+Two extensions push this to production scale (docs/CHAOS.md "Churn at
+scale"):
+
+* ``engine="fast"`` runs the sweep on the batched engine, reaching
+  n ≈ 50k;
+* ``storms=("flash_crowd", "correlated_departure", "partition_heal")``
+  adds one row per named storm (:mod:`repro.churn.storms`): a batched
+  membership event on a stable n-node overlay, priced by rounds to
+  reconverge and net extra messages per event
+  (:func:`repro.churn.scale.storm_recovery_trial`).
 """
 
 from __future__ import annotations
 
+from repro.churn.scale import storm_recovery_trial
 from repro.churn.sequences import ChurnWorkload
+from repro.churn.storms import STORMS
 from repro.core.protocol import ProtocolConfig, build_network
 from repro.experiments.common import ExperimentResult, seed_rng
 from repro.graphs.build import stable_ring_states
@@ -28,6 +41,15 @@ from repro.sim.engine import Simulator
 __all__ = ["run"]
 
 
+def _norm_tuple(value: object) -> tuple:
+    """CLI-friendly tuple normalization: ``""`` → ``()``, scalar → 1-tuple."""
+    if value is None or value == "":
+        return ()
+    if isinstance(value, (str, int, float)):
+        return (value,)
+    return tuple(value)  # type: ignore[arg-type]
+
+
 def run(
     *,
     n: int = 128,
@@ -35,8 +57,22 @@ def run(
     rounds: int = 400,
     trials: int = 2,
     seed: int = 17,
+    engine: str = "reference",
+    storms: tuple[str, ...] = (),
 ) -> ExperimentResult:
-    """One row per churn rate (per-round join AND leave probability)."""
+    """One row per churn rate (per-round join AND leave probability), plus
+    one row per named storm leg when *storms* is non-empty."""
+    if engine not in ("reference", "fast"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'reference' or 'fast'"
+        )
+    rates = _norm_tuple(rates)
+    storms = _norm_tuple(storms)
+    for storm in storms:
+        if storm not in STORMS:
+            raise ValueError(
+                f"unknown storm {storm!r}; expected one of {sorted(STORMS)}"
+            )
     result = ExperimentResult(
         experiment="e17",
         title="Availability under sustained churn",
@@ -49,6 +85,8 @@ def run(
             "rounds": rounds,
             "trials": trials,
             "seed": seed,
+            "engine": engine,
+            "storms": storms,
         },
     )
     for rate in rates:
@@ -58,8 +96,15 @@ def run(
             states = stable_ring_states(
                 n, lrl="harmonic", rng=rng, ids=generate_ids(n, rng)
             )
-            net = build_network(states, ProtocolConfig())
-            sim = Simulator(net, rng)
+            if engine == "reference":
+                net = build_network(states, ProtocolConfig())
+                sim = Simulator(net, rng)
+            else:
+                from repro.sim.fast import FastSimulator
+
+                sim = FastSimulator.from_states(
+                    states, ProtocolConfig(), mode="batched", rng=rng
+                )
             sim.run(10)
             workload = ChurnWorkload(
                 sim, rng, join_probability=rate, leave_probability=rate
@@ -80,17 +125,38 @@ def run(
                 "routing_hops": float(sum(route_hops) / trials),
             }
         )
-    low = result.rows[0]
-    high = result.rows[-1]
-    result.note(
-        f"at rate {low['rate']}: ring availability "
-        f"{low['ring_availability']:.0%}, routing success "
-        f"{low['routing_success']:.0%}"
-    )
-    result.note(
-        f"at rate {high['rate']} (one join + one leave per round): perfect-"
-        f"ring availability {high['ring_availability']:.0%} but pair "
-        f"fraction {high['pair_fraction']:.0%} and routing success "
-        f"{high['routing_success']:.0%} - degradation is local, not global"
-    )
+    if rates:
+        low = result.rows[0]
+        high = result.rows[-1]
+        result.note(
+            f"at rate {low['rate']}: ring availability "
+            f"{low['ring_availability']:.0%}, routing success "
+            f"{low['routing_success']:.0%}"
+        )
+        result.note(
+            f"at rate {high['rate']} (one join + one leave per round): "
+            f"perfect-ring availability {high['ring_availability']:.0%} but "
+            f"pair fraction {high['pair_fraction']:.0%} and routing success "
+            f"{high['routing_success']:.0%} - degradation is local, not "
+            "global"
+        )
+    for storm in storms:
+        res = storm_recovery_trial(n, storm=storm, seed=seed, engine=engine)
+        result.rows.append(
+            {
+                "storm": storm,
+                "n": res.n,
+                "events": res.events,
+                "recovery_rounds": res.rounds,
+                "extra_messages": res.extra_messages,
+                "per_event_messages": res.per_event_messages,
+                "recovered": res.recovered,
+            }
+        )
+        result.note(
+            f"storm {storm} (n={res.n}): {res.events} events, reconverged "
+            f"in {res.rounds} rounds"
+            f"{'' if res.recovered else ' (NOT recovered within cap)'}, "
+            f"{res.per_event_messages:.1f} extra msgs/event"
+        )
     return result

@@ -40,6 +40,7 @@ from repro.sim.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sim.engine import Simulator
+    from repro.sim.fast.chaos.scheduler import WaveDispatchFault
     from repro.sim.schedulers import Scheduler
 
 __all__ = [
@@ -313,11 +314,12 @@ class CrashRestart(FaultInjector):
                 crash_restart(network, victim)
                 self.crashes += 1
         else:
-            from repro.sim.fast.chaos.faults import crash_restart_engine
+            from repro.sim.fast.chaos.faults import crash_restart_many_engine
 
-            for victim in victims:
-                crash_restart_engine(host, victim)
-                self.crashes += 1
+            crash_restart_many_engine(
+                host, np.asarray(victims, dtype=np.float64)
+            )
+            self.crashes += len(victims)
 
     def describe(self) -> str:
         if self.node_ids is not None:
@@ -390,32 +392,87 @@ class NodeChurn(FaultInjector):
 
 
 class SchedulerFault(FaultInjector):
-    """Swap an adversarial scheduler in for the duration of the window.
+    """Adversarial scheduling as a windowed fault, on either engine.
 
-    Makes the :mod:`repro.sim.adversary` schedulers (bounded delay,
-    starvation) composable campaign faults: the original scheduler is
-    restored when the window closes.
+    On a **reference simulator** this swaps the ``scheduler=`` argument in
+    for the duration of the window (the :mod:`repro.sim.adversary`
+    schedulers — bounded delay, starvation — become composable campaign
+    faults) and restores the original when the window closes.
+
+    On a **batched-engine host** there is no per-node scheduler to swap —
+    dispatch happens wave-by-wave inside ``execute_round`` — so the fault
+    installs a :class:`~repro.sim.fast.chaos.scheduler.WaveDispatchFault`
+    instead: each round the wave dispatch order is randomly permuted
+    (``permute_waves``) and a ``starvation`` fraction of every wave's rows
+    is deferred to the next round, the SoA analogue of an adversarial
+    scheduler starving individual nodes.
+
+    The mirror engine replays batched rounds scalar and has no wave
+    structure to perturb, so a mirror host raises ``TypeError``.
     """
 
-    def __init__(self, scheduler: "Scheduler") -> None:
+    def __init__(
+        self,
+        scheduler: "Scheduler | None" = None,
+        *,
+        permute_waves: bool = True,
+        starvation: float = 0.0,
+    ) -> None:
         super().__init__()
+        if not (0.0 <= starvation < 1.0):
+            raise ValueError(f"starvation must be in [0, 1), got {starvation}")
         self.scheduler = scheduler
+        self.permute_waves = permute_waves
+        self.starvation = starvation
         self._saved: "Scheduler | None" = None
+        self._wave_fault: "WaveDispatchFault | None" = None
 
     def on_window_start(self, simulator: "Simulator") -> None:
         saved = getattr(simulator, "scheduler", None)
-        if saved is None:
+        if saved is not None:
+            if self.scheduler is None:
+                raise TypeError(
+                    "SchedulerFault on a reference simulator needs the "
+                    "scheduler= argument (the adversarial Scheduler to "
+                    "swap in for the window)"
+                )
+            self._saved = saved
+            simulator.scheduler = self.scheduler
+            return
+        engine = getattr(simulator, "engine", None)
+        install = getattr(engine, "set_wave_fault", None)
+        if install is None:
             raise TypeError(
-                "SchedulerFault requires a reference simulator with a "
-                "scheduler to swap; the batched engines schedule internally"
+                "SchedulerFault needs a reference simulator (scheduler "
+                "swap) or a batched engine (wave-dispatch fault); the "
+                "mirror engine replays rounds scalar and has no wave "
+                "structure to perturb"
             )
-        self._saved = saved
-        simulator.scheduler = self.scheduler
+        from repro.sim.fast.chaos.scheduler import WaveDispatchFault
+
+        fault = WaveDispatchFault(
+            self.rng,
+            permute_waves=self.permute_waves,
+            starvation=self.starvation,
+        )
+        self._wave_fault = fault
+        install(fault)
 
     def on_window_end(self, simulator: "Simulator") -> None:
         if self._saved is not None:
             simulator.scheduler = self._saved
             self._saved = None
+        if self._wave_fault is not None:
+            engine = getattr(simulator, "engine", None)
+            install = getattr(engine, "set_wave_fault", None)
+            if install is not None:
+                install(None)
+            self._wave_fault = None
 
     def describe(self) -> str:
-        return f"SchedulerFault({type(self.scheduler).__name__})"
+        if self.scheduler is not None:
+            return f"SchedulerFault({type(self.scheduler).__name__})"
+        return (
+            f"SchedulerFault(permute_waves={self.permute_waves}, "
+            f"starvation={self.starvation})"
+        )

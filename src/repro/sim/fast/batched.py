@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
-from typing import TYPE_CHECKING, cast
+from typing import TYPE_CHECKING, Protocol, cast
 
 import numpy as np
 
 from repro.core.protocol import ProtocolConfig
 from repro.core.state import NodeState, StateTuple
-from repro.ids import require_id
+from repro.ids import NEG_INF, POS_INF, require_id
 from repro.sim.fast.buffers import (
     INCLRL,
     LIN,
@@ -63,7 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.messages import Message
     from repro.obs.profile import PhaseProfiler
 
-__all__ = ["FastEngine", "KERNEL_NAMES"]
+__all__ = ["FastEngine", "KERNEL_NAMES", "WaveFault"]
 
 #: Kernel name per message-type code (profiling labels, docs/PERF.md).
 KERNEL_NAMES = (
@@ -75,6 +75,25 @@ KERNEL_NAMES = (
     "probing_r",  # PROBR
     "probing_l",  # PROBL
 )
+
+
+#: One conflict-free dispatch unit: ``(type code, inbox row indices)``.
+WaveGroup = tuple[int, np.ndarray]
+
+
+class WaveFault(Protocol):
+    """Adversarial rewrite of the round's wave-group dispatch sequence.
+
+    Installed via :meth:`FastEngine.set_wave_fault` (the batched story for
+    ``SchedulerFault``, docs/CHAOS.md).  ``rewrite`` receives the round's
+    wave groups in canonical ascending ``(wave, type)`` order and returns
+    ``(dispatch, starved)``: the groups to run this round, in dispatch
+    order, and the groups whose rows are deferred to the next round.
+    """
+
+    def rewrite(
+        self, groups: list[WaveGroup]
+    ) -> tuple[list[WaveGroup], list[WaveGroup]]: ...
 
 
 class FastEngine:
@@ -120,6 +139,9 @@ class FastEngine:
         #: Per-kernel profiler, installed by an ambient observer
         #: (repro.obs); ``None`` keeps the round on the untimed path.
         self.profiler: PhaseProfiler | None = None
+        #: Adversarial wave-dispatch rewrite (``SchedulerFault``'s batched
+        #: story); ``None`` keeps the canonical ascending dispatch order.
+        self._wave_fault: WaveFault | None = None
 
     # ------------------------------------------------------------------
     # Round execution
@@ -158,9 +180,16 @@ class FastEngine:
                 np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
             )
             ends = np.r_[starts[1:], len(sorted_keys)]
-            for lo, hi in zip(starts, ends):
-                rows = order[lo:hi]
-                code = int(sorted_keys[lo] & 7)
+            groups: list[WaveGroup] = [
+                (int(sorted_keys[lo] & 7), order[lo:hi])
+                for lo, hi in zip(starts, ends)
+            ]
+            fault = self._wave_fault
+            if fault is not None:
+                groups, starved = fault.rewrite(groups)
+                for code, rows in starved:
+                    self._defer_rows(code, inbox, rows)
+            for code, rows in groups:
                 if profiler is None:
                     self._dispatch(code, inbox, rows, rng)
                 else:
@@ -273,6 +302,111 @@ class FastEngine:
         self.dropped += self.outbox.drop_dest(node_id)
         self.outbox.purge_mentions(node_id)
         self.soa.scrub_departed(node_id)
+
+    def join_batch(self, new_ids: np.ndarray, contact_ids: np.ndarray) -> int:
+        """Add a batch of fresh nodes in one column append (paper §IV-G).
+
+        State-equivalent to :meth:`join` once per ``(new_id, contact_id)``
+        pair in ascending new-id order (the canonical batch-membership
+        order; joins are independent — each writes only its own row).  The
+        whole batch is validated before any row lands.  Returns the number
+        of nodes added.
+        """
+        new_ids = np.ascontiguousarray(new_ids, dtype=np.float64)
+        contact_ids = np.ascontiguousarray(contact_ids, dtype=np.float64)
+        if new_ids.shape != contact_ids.shape:
+            raise ValueError("new_ids and contact_ids must align")
+        k = len(new_ids)
+        if k == 0:
+            return 0
+        order = np.argsort(new_ids, kind="stable")
+        new_ids, contact_ids = new_ids[order], contact_ids[order]
+        # require_id's range rule, vectorized (NaN fails both compares).
+        if not bool(((new_ids >= 0.0) & (new_ids < 1.0)).all()):
+            raise ValueError("joining ids must lie in [0, 1)")
+        if len(np.unique(new_ids)) != k:
+            raise ValueError("duplicate joining id within batch")
+        _, already = self.soa.lookup(new_ids)
+        if bool(already.any()):
+            nid = float(new_ids[np.flatnonzero(already)[0]])
+            raise ValueError(f"id {nid!r} already in the network")
+        _, have_contact = self.soa.lookup(contact_ids)
+        if not bool(have_contact.all()):
+            cid = float(contact_ids[np.flatnonzero(~have_contact)[0]])
+            raise ValueError(f"contact {cid!r} not in the network")
+        if bool((contact_ids == new_ids).any()):
+            raise ValueError("a node cannot join via itself")
+        # NodeState defaults with the contact grafted on the matching side,
+        # exactly as the scalar join builds them.
+        l = np.where(contact_ids < new_ids, contact_ids, NEG_INF)
+        r = np.where(contact_ids > new_ids, contact_ids, POS_INF)
+        self.soa.add_batch(
+            new_ids,
+            l,
+            r,
+            new_ids,
+            np.full(k, np.nan),
+            np.zeros(k, dtype=np.int64),
+        )
+        return k
+
+    def leave_batch(self, node_ids: np.ndarray) -> int:
+        """Remove a batch of nodes in one vectorized pass (paper §IV-G).
+
+        State-equivalent to :meth:`leave` once per id in ascending order:
+        staged rows die with the ``d <= m`` accounting of
+        :meth:`Outbox.drop_and_purge_batch`, stored references are scrubbed
+        in one ``isin`` pass, and tombstoned slots are reclaimed by
+        round-boundary compaction once they dominate.  The whole batch is
+        validated before any state changes.  Returns the departure count.
+        """
+        victims = np.sort(np.ascontiguousarray(node_ids, dtype=np.float64))
+        k = len(victims)
+        if k == 0:
+            return 0
+        if k > 1 and bool((victims[1:] == victims[:-1]).any()):
+            raise KeyError("duplicate departing id within batch")
+        _, found = self.soa.lookup(victims)
+        if not bool(found.all()):
+            nid = float(victims[np.flatnonzero(~found)[0]])
+            raise KeyError(f"no node with id {nid!r}")
+        self.soa.remove_batch(victims)
+        self.dropped += self.outbox.drop_and_purge_batch(victims)
+        self.soa.scrub_departed_many(victims)
+        self._after_leave_batch(victims)
+        self.soa.maybe_compact()
+        return k
+
+    def _after_leave_batch(self, victims: np.ndarray) -> None:
+        """Post-departure hook (chaos engines purge their wire/guard here).
+
+        *victims* is sorted ascending — the order the ``d <= m`` accounting
+        is defined against.
+        """
+        del victims
+
+    # ------------------------------------------------------------------
+    # Wave-dispatch faults (SchedulerFault's batched story)
+    # ------------------------------------------------------------------
+    def set_wave_fault(self, fault: WaveFault | None) -> None:
+        """Install (or clear, with ``None``) a wave-dispatch fault."""
+        self._wave_fault = fault
+
+    def _defer_rows(
+        self, code: int, inbox: RoundInbox, rows: np.ndarray
+    ) -> None:
+        """Push starved inbox rows back into the outbox, uncounted.
+
+        The deferred rows re-enter next round's inbox exactly as if their
+        senders' messages had arrived one round late; their original sends
+        were already counted, so :meth:`Outbox.restage` skips the stats.
+        """
+        dest = self.soa.ids[inbox.dest_idx[rows]]
+        a = inbox.a[rows]
+        if code == RESLRL:
+            self.outbox.restage(code, dest, a, inbox.b[rows], inbox.c[rows])
+        else:
+            self.outbox.restage(code, dest, a)
 
     def __contains__(self, node_id: float) -> bool:
         return node_id in self.soa

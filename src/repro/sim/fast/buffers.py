@@ -50,6 +50,7 @@ __all__ = [
     "Outbox",
     "RoundInbox",
     "build_inbox",
+    "victim_rank",
 ]
 
 #: Compact message-type codes (array-friendly stand-ins for MessageType).
@@ -218,6 +219,73 @@ class Outbox:
             self._chunks[code] = fresh
         return removed
 
+    def restage(
+        self,
+        code: int,
+        dest: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray | None = None,
+        c: np.ndarray | None = None,
+        origin: np.ndarray | None = None,
+    ) -> None:
+        """Re-stage rows without counting a send.
+
+        Used by the wave-dispatch scheduler fault to defer starved inbox
+        rows to the next round: the original sends were already counted
+        when first staged, so deferral must not inflate the stats.
+        """
+        if len(dest) == 0:
+            return
+        self._chunks[code].append((dest, a, b, c, origin))
+
+    def drop_and_purge_batch(self, victims: np.ndarray) -> int:
+        """Remove staged rows addressed to or mentioning departing nodes.
+
+        One vectorized pass equivalent to the scalar per-victim sequence
+        ``drop_dest(v); purge_mentions(v)`` over *victims* in ascending id
+        order (``FastEngine.leave``'s contract).  Returns how many removed
+        rows that sequence would have *counted* as destination drops: a row
+        dies counted iff the first victim (ascending) that touches it does
+        so as its destination — ``d <= m`` where ``d``/``m`` are the victim
+        ranks of the destination / earliest payload mention (a strictly
+        earlier mention purges the row, uncounted, before the destination
+        victim's own drop pass reaches it).
+        """
+        victims = np.ascontiguousarray(victims, dtype=np.float64)
+        if len(victims) == 0:
+            return 0
+        victims = np.sort(victims)
+        absent = len(victims)
+        counted = 0
+        for code, chunks in enumerate(self._chunks):
+            fresh: list[_Chunk] = []
+            for ch in chunks:
+                d = victim_rank(ch[0], victims)
+                m = victim_rank(ch[1], victims)
+                if code == RESLRL and ch[2] is not None and ch[3] is not None:
+                    m = np.minimum(m, victim_rank(ch[2], victims))
+                    m = np.minimum(m, victim_rank(ch[3], victims))
+                doomed = (d < absent) | (m < absent)
+                counted += int((doomed & (d <= m)).sum())
+                kept = int(len(ch[0]) - doomed.sum())
+                if kept == 0:
+                    continue
+                if kept == len(ch[0]):
+                    fresh.append(ch)
+                    continue
+                keep = ~doomed
+                fresh.append(
+                    (
+                        ch[0][keep],
+                        ch[1][keep],
+                        None if ch[2] is None else ch[2][keep],
+                        None if ch[3] is None else ch[3][keep],
+                        None if ch[4] is None else ch[4][keep],
+                    )
+                )
+            self._chunks[code] = fresh
+        return counted
+
     def drop_dest(self, nid: float) -> int:
         """Drop staged messages addressed to *nid* (node removal)."""
         return self._filter(lambda code, ch: ch[0] != nid)
@@ -237,6 +305,19 @@ class Outbox:
             return ~hit
 
         return self._filter(keep)
+
+
+def victim_rank(values: np.ndarray, victims: np.ndarray) -> np.ndarray:
+    """Rank of each value in *victims* (sorted ascending, nonempty).
+
+    Returns ``len(victims)`` where the value is not a victim — an "absent"
+    sentinel that compares greater than every real rank, so the batched
+    ``d <= m`` accounting in :meth:`Outbox.drop_and_purge_batch` reduces to
+    elementwise integer comparisons.
+    """
+    pos = np.searchsorted(victims, values)
+    clipped = np.minimum(pos, len(victims) - 1)
+    return np.where(victims[clipped] == values, clipped, len(victims))
 
 
 def _col(ch: _Chunk, position: int, count: int) -> np.ndarray:

@@ -16,6 +16,7 @@ from repro.sim.fast.chaos.batched import BatchedGuard, ChaosFastEngine
 from repro.sim.fast.chaos.faults import (
     corrupt_random_pointers_engine,
     crash_restart_engine,
+    crash_restart_many_engine,
 )
 from repro.sim.fast.chaos.mirror import ChaosMirrorEngine
 from repro.sim.fast.chaos.monitors import (
@@ -23,6 +24,8 @@ from repro.sim.fast.chaos.monitors import (
     engine_check_invariants,
     engine_weakly_connected,
 )
+from repro.sim.fast.chaos.scheduler import WaveDispatchFault
+from repro.sim.fast.chaos.support import ENGINE_SUPPORT, engine_story
 from repro.sim.fast.chaos.wire import (
     KIND_ACK,
     KIND_ENVELOPE,
@@ -44,6 +47,10 @@ __all__ = [
     "KIND_ACK",
     "corrupt_random_pointers_engine",
     "crash_restart_engine",
+    "crash_restart_many_engine",
+    "WaveDispatchFault",
+    "ENGINE_SUPPORT",
+    "engine_story",
     "engine_cc_components",
     "engine_check_invariants",
     "engine_weakly_connected",

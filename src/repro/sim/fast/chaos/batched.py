@@ -36,7 +36,7 @@ from repro.core.protocol import ProtocolConfig
 from repro.core.state import NodeState
 from repro.sim.chaos.guard import GuardPolicy, GuardStats
 from repro.sim.fast.batched import FastEngine
-from repro.sim.fast.buffers import CODE_OF_TYPE, RESLRL, TYPE_OF_CODE
+from repro.sim.fast.buffers import CODE_OF_TYPE, RESLRL, TYPE_OF_CODE, victim_rank
 from repro.sim.fast.chaos.wire import (
     KIND_ACK,
     KIND_ENVELOPE,
@@ -201,6 +201,31 @@ class BatchedGuard:
             & ((self.b == node_id) | (self.c == node_id))
         )
         self.alive[self.alive & mention] = False
+
+    def drop_batch(self, victims: np.ndarray) -> None:
+        """Batched ``drop_for_destination`` + ``drop_mentioning`` sweep.
+
+        Equivalent to the scalar pair per victim in ascending id order
+        (*victims* must be sorted): a pending row abandons (counted) iff
+        the first victim that touches it is its destination — the same
+        ``d <= m`` rule as :meth:`Outbox.drop_and_purge_batch` — and dies
+        uncounted when an earlier victim is merely mentioned.
+        """
+        if len(victims) == 0 or len(self.alive) == 0:
+            return
+        absent = len(victims)
+        d = victim_rank(self.dest, victims)
+        m = victim_rank(self.a, victims)
+        lrl = self.tcode == RESLRL
+        if lrl.any():
+            mb = victim_rank(self.b, victims)
+            mc = victim_rank(self.c, victims)
+            m = np.where(lrl, np.minimum(m, np.minimum(mb, mc)), m)
+        doomed = self.alive & ((d < absent) | (m < absent))
+        abandoned = int((doomed & (d <= m)).sum())
+        if abandoned:
+            self.stats.abandoned += abandoned
+        self.alive[doomed] = False
 
     def compact(self) -> None:
         """Drop dead rows once they dominate (amortized O(1) per round)."""
@@ -435,6 +460,34 @@ class ChaosFastEngine(FastEngine):
         if self._guard is not None:
             self._guard.drop_for_destination(node_id)
             self._guard.drop_mentioning(node_id)
+
+    def _after_leave_batch(self, victims: np.ndarray) -> None:
+        """Vectorized wire + guard purge for a departure batch.
+
+        The scalar ``leave`` interleaves outbox, wire, and guard purges per
+        victim, but the three stores are disjoint, so processing each store
+        with its own ``d <= m`` sweep over the ascending victim batch
+        reproduces the sequential counts exactly.
+        """
+        wire = self._wire
+        if len(wire):
+            absent = len(victims)
+            payload = wire.kind != KIND_ACK
+            d = victim_rank(wire.dest, victims)
+            m = victim_rank(wire.a, victims)
+            lrl = wire.tcode == RESLRL
+            if lrl.any():
+                mb = victim_rank(wire.b, victims)
+                mc = victim_rank(wire.c, victims)
+                m = np.where(lrl, np.minimum(m, np.minimum(mb, mc)), m)
+            doomed = payload & ((d < absent) | (m < absent))
+            counted = int((doomed & (d <= m)).sum())
+            if counted:
+                self.dropped += counted
+            if doomed.any():
+                self._wire = wire.take(~doomed)
+        if self._guard is not None:
+            self._guard.drop_batch(victims)
 
     # ------------------------------------------------------------------
     # Connectivity accounting

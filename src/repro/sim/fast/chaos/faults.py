@@ -4,10 +4,11 @@ The reference helpers (:func:`repro.sim.faults.corrupt_random_pointers`,
 :func:`repro.sim.faults.crash_restart`) mutate ``NodeState`` objects behind
 a ``Network``.  These are the struct-of-arrays counterparts used when a
 :class:`~repro.sim.chaos.injectors.FaultInjector` fires against a
-:class:`~repro.sim.fast.FastSimulator` host.  They replicate the reference
-draw choreography *exactly* — same number of RNG calls, in the same order,
-with the same skip conditions — so a twin-seeded injector produces
-bit-identical corruption on both engines (the chaos differential relies on
+:class:`~repro.sim.fast.FastSimulator` host.  The draw choreography is
+*batch-shaped and shared*: the reference helper makes the exact same
+whole-batch RNG calls and applies them scalar, so a twin-seeded injector
+produces bit-identical corruption on both engines while this side runs as
+masked scatters with no per-victim loop (the chaos differential relies on
 this; docs/CHAOS.md).
 """
 
@@ -25,7 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     AnyEngine = FastEngine | MirrorEngine
 
-__all__ = ["corrupt_random_pointers_engine", "crash_restart_engine"]
+__all__ = [
+    "corrupt_random_pointers_engine",
+    "crash_restart_engine",
+    "crash_restart_many_engine",
+]
 
 
 def corrupt_random_pointers_engine(
@@ -37,54 +42,81 @@ def corrupt_random_pointers_engine(
 ) -> int:
     """Corrupt a random *fraction* of nodes' pointers in SoA columns.
 
-    Draw-for-draw port of :func:`repro.sim.faults.corrupt_random_pointers`:
-    the victim choice, the per-victim l/r draws (skipped — not consumed —
-    when no smaller/larger identifier exists), and the lrl/ring/age draws
-    all line up with the reference helper.
+    Draw-for-draw twin of :func:`repro.sim.faults.corrupt_random_pointers`
+    — see its docstring for the shared batch choreography.  Victims are
+    *positions* into the ascending live-id array, so position ``p`` has
+    ``p`` smaller and ``n−1−p`` larger identifiers and the order-respecting
+    l/r picks become pure index arithmetic; all five corruption columns
+    land as masked scatters (victims are drawn without replacement, so the
+    target slots are unique and conflict-free).
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    ids = engine.ids
-    n = len(ids)
+    soa = engine.soa
+    sorted_ids, sorted_idx = soa.sorted_live()
+    n = len(sorted_ids)
     count = int(fraction * n)
     if count == 0:
         return 0
     victims = rng.choice(n, size=count, replace=False)
-    soa = engine.soa
-    for v in victims:
-        nid = ids[int(v)]
-        i = soa.index_of(nid)
-        assert i is not None
-        if corrupt_list_links:
-            smaller = [other for other in ids if other < nid]
-            larger = [other for other in ids if other > nid]
-            if smaller:
-                soa.l[i] = smaller[int(rng.integers(len(smaller)))]  # repro-flow: ignore[flow-branch-rng] draw-for-draw port of PointerCorruption; the reference injector branches and loops identically  # repro-lint: ignore[scalar-loop-over-soa] per-victim scalar writes mirror the reference injector's loop exactly; victims are few
-            if larger:
-                soa.r[i] = larger[int(rng.integers(len(larger)))]  # repro-flow: ignore[flow-branch-rng] draw-for-draw port of PointerCorruption (see above)
-        soa.lrl[i] = ids[int(rng.integers(n))]  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
-        soa.ring[i] = ids[int(rng.integers(n))]  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
-        soa.age[i] = int(rng.integers(0, 1000))  # repro-flow: ignore[flow-branch-rng] per-victim draw mirrors the reference injector loop exactly
+    coin_l = rng.random(count)
+    coin_r = rng.random(count)
+    lrl_pick = rng.integers(0, n, size=count)
+    ring_pick = rng.integers(0, n, size=count)
+    ages = rng.integers(0, 1000, size=count)
+    tgt = sorted_idx[victims]
+    if corrupt_list_links:
+        p = victims.astype(np.int64)
+        # min(⌊u·k⌋, k−1) picks among k candidates; the unusable entries
+        # (p == 0 / p == n−1) are masked off before the scatter.
+        has_l = p > 0
+        li = np.minimum((coin_l * p).astype(np.int64), p - 1)
+        soa.l[tgt[has_l]] = sorted_ids[li[has_l]]
+        larger = n - 1 - p
+        has_r = larger > 0
+        ri = p + 1 + np.minimum((coin_r * larger).astype(np.int64), larger - 1)
+        soa.r[tgt[has_r]] = sorted_ids[ri[has_r]]
+    soa.lrl[tgt] = sorted_ids[lrl_pick]
+    soa.ring[tgt] = sorted_ids[ring_pick]
+    soa.age[tgt] = ages
     return count
 
 
 def crash_restart_engine(engine: "AnyEngine", node_id: float) -> None:
     """Reset *node_id* to its freshly-booted state (keeps its identifier).
 
-    Port of :func:`repro.sim.faults.crash_restart`: neighbors to the
-    sentinels, the long-range link to self with age 0, ring cleared, and —
-    where the engine holds per-node channels (the mirror) — any queued
-    messages dropped like the reference's ``channel.clear()``.
+    Port of :func:`repro.sim.faults.crash_restart`; see
+    :func:`crash_restart_many_engine` for the batch form this delegates to.
     """
+    crash_restart_many_engine(engine, np.asarray([node_id], dtype=np.float64))
+
+
+def crash_restart_many_engine(
+    engine: "AnyEngine", node_ids: np.ndarray
+) -> None:
+    """Reset a whole batch of nodes to their freshly-booted state.
+
+    One masked scatter per column, equivalent to the scalar
+    :func:`repro.sim.faults.crash_restart` per id in any order (the resets
+    are independent and idempotent): neighbors to the sentinels, the
+    long-range link to self with age 0, ring cleared, and — where the
+    engine holds per-node channels (the mirror) — queued messages dropped
+    like the reference's ``channel.clear()``.
+    """
+    ids = np.ascontiguousarray(node_ids, dtype=np.float64)
+    if len(ids) == 0:
+        return
     soa = engine.soa
-    i = soa.index_of(node_id)
-    if i is None:
-        raise KeyError(f"no node with id {node_id!r}")
-    soa.l[i] = NEG_INF
-    soa.r[i] = POS_INF
-    soa.lrl[i] = soa.ids[i]
-    soa.ring[i] = np.nan
-    soa.age[i] = 0
+    idx, found = soa.lookup(ids)
+    if not bool(found.all()):
+        missing = float(ids[np.flatnonzero(~found)[0]])
+        raise KeyError(f"no node with id {missing!r}")
+    soa.l[idx] = NEG_INF
+    soa.r[idx] = POS_INF
+    soa.lrl[idx] = soa.ids[idx]
+    soa.ring[idx] = np.nan
+    soa.age[idx] = 0
     clear = getattr(engine, "crash_channel_clear", None)
     if clear is not None:
-        clear(node_id)
+        for nid in ids.tolist():
+            clear(nid)

@@ -1,0 +1,53 @@
+"""Engine-support registry: every injector's batched story, ratcheted.
+
+The chaos layer started on the reference simulator; injectors gained
+batched-engine counterparts one at a time, and for a while the honest
+answer for some of them was "raises ``TypeError`` on a fast host".  This
+registry makes that answer *explicit and ratcheted*: every
+:class:`~repro.sim.chaos.injectors.FaultInjector` subclass exported by
+:mod:`repro.sim.chaos.injectors` must have an entry here saying how it
+behaves against the batched engines, and the ratchet test
+(``tests/test_fast_chaos.py``) fails when a new injector appears without
+one — you cannot add a fault and silently leave the fast engines out.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENGINE_SUPPORT", "engine_story"]
+
+#: Injector class name → one-line batched-engine story.
+ENGINE_SUPPORT: dict[str, str] = {
+    "MessageLoss": (
+        "wire hook, vectorized by apply_wire_faults as one Bernoulli mask "
+        "over the WireRows batch"
+    ),
+    "MessageDuplication": (
+        "wire hook, vectorized by apply_wire_faults as row cloning on the "
+        "wire batch"
+    ),
+    "MessageDelay": (
+        "wire hook, vectorized by apply_wire_faults as per-row extra delay "
+        "ticks (hash mode replays the reference digests)"
+    ),
+    "PointerCorruption": (
+        "round hook via corrupt_random_pointers_engine: masked SoA "
+        "scatters, draw-for-draw with the reference helper"
+    ),
+    "CrashRestart": (
+        "round hook via crash_restart_many_engine: one masked scatter per "
+        "column resets the whole victim batch"
+    ),
+    "NodeChurn": (
+        "round hook, host-generic: engine join/leave mutate the SoA "
+        "membership directly"
+    ),
+    "SchedulerFault": (
+        "round-window hook via WaveDispatchFault: permutes per-round wave "
+        "dispatch and starves rows through the uncounted restage path"
+    ),
+}
+
+
+def engine_story(injector_type: type) -> str:
+    """The batched-engine story for an injector class (KeyError if none)."""
+    return ENGINE_SUPPORT[injector_type.__name__]

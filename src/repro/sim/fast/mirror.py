@@ -262,6 +262,45 @@ class MirrorEngine:
                     self._sets[nid] = set(kept)
         self.soa.scrub_departed(node_id)
 
+    def join_batch(self, new_ids: np.ndarray, contact_ids: np.ndarray) -> int:
+        """Batch join: the scalar joins in ascending new-id order.
+
+        The mirror engine *is* the scalar reference semantics, so the batch
+        API is the canonical per-id loop — the same order
+        ``FastEngine.join_batch`` is defined against, which is what lets
+        the differential harness pin batched churn mid-storm.  In-batch
+        duplicates are rejected up front; each scalar join then applies its
+        own membership checks.
+        """
+        new_ids = np.ascontiguousarray(new_ids, dtype=np.float64)
+        contact_ids = np.ascontiguousarray(contact_ids, dtype=np.float64)
+        if new_ids.shape != contact_ids.shape:
+            raise ValueError("new_ids and contact_ids must align")
+        if len(np.unique(new_ids)) != len(new_ids):
+            raise ValueError("duplicate joining id within batch")
+        order = np.argsort(new_ids, kind="stable")
+        for k in order.tolist():
+            self.join(float(new_ids[k]), float(contact_ids[k]))
+        return len(new_ids)
+
+    def leave_batch(self, node_ids: np.ndarray) -> int:
+        """Batch leave: the scalar departures in ascending id order.
+
+        Chaos subclasses inherit this loop unchanged — each iteration runs
+        their own ``leave`` override, which is exactly the sequential
+        contract the batched engine's ``d <= m`` accounting reproduces.
+        """
+        victims = np.sort(np.ascontiguousarray(node_ids, dtype=np.float64))
+        k = len(victims)
+        if k > 1 and bool((victims[1:] == victims[:-1]).any()):
+            raise KeyError("duplicate departing id within batch")
+        for nid in victims.tolist():
+            if nid not in self.soa:
+                raise KeyError(f"no node with id {nid!r}")
+        for nid in victims.tolist():
+            self.leave(nid)
+        return k
+
     def __contains__(self, node_id: float) -> bool:
         return node_id in self.soa
 

@@ -13,10 +13,13 @@ insertion):
   engine's ``None`` (float64),
 * ``age`` — move-and-forget steps since the last reset (int64),
 
-plus an ``alive`` mask: churn marks slots dead instead of compacting, so
-compact indices stay stable for the whole run (message buffers reference
-them).  Identifier→index resolution is a dict for scalar callers and a
-sorted-array ``searchsorted`` for vectorized ones.
+plus an ``alive`` mask: a departure tombstones its slot (``alive=False``)
+so compact indices stay stable *within* a round — message buffers carry
+identifiers, not slots, and per-round inboxes re-resolve them, so
+:meth:`SoAState.compact` may reclaim dead slots at any round boundary
+(docs/CHAOS.md "Churn at scale").  Identifier→index resolution is a dict
+for scalar callers and a sorted-array ``searchsorted`` for vectorized
+ones.
 
 Both fast engines (batched and mirror-RNG; see docs/PERF.md) share this
 container, and both export the canonical
@@ -126,8 +129,10 @@ class SoAState:
     def remove(self, nid: float) -> int:
         """Mark the node with identifier *nid* dead; returns its slot.
 
-        The slot is never reused — compact indices stay valid for the whole
-        run, which is what lets message buffers carry them across rounds.
+        The slot becomes a tombstone: it is not reused by later joins, so
+        compact indices stay valid until the next :meth:`compact` call
+        (which only ever runs at a round boundary — nothing holds slot
+        indices across rounds; buffers carry identifiers).
         """
         try:
             i = self._index.pop(float(nid))
@@ -136,6 +141,136 @@ class SoAState:
         self.alive[i] = False
         self._dirty = True
         return i
+
+    # ------------------------------------------------------------------
+    # Batch membership (docs/CHAOS.md "Churn at scale")
+    # ------------------------------------------------------------------
+    def add_batch(
+        self,
+        ids: np.ndarray,
+        l: np.ndarray,
+        r: np.ndarray,
+        lrl: np.ndarray,
+        ring: np.ndarray,
+        age: np.ndarray,
+    ) -> np.ndarray:
+        """Append a batch of nodes in one column write; returns their slots.
+
+        State-equivalent to :meth:`add` called once per row, in row order
+        (appends are independent — each writes only its own fresh slot).
+        ``ring`` uses ``NaN`` for the reference engine's ``None``.  The
+        whole batch is validated before any slot is written, so a raising
+        call leaves the container untouched.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.float64)
+        k = len(ids)
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if len(np.unique(ids)) != k:
+            raise ValueError("duplicate node id within batch")
+        for nid in ids.tolist():
+            if nid in self._index:
+                raise ValueError(f"duplicate node id {nid!r}")
+        while self.size + k > self.capacity:
+            self._grow()
+        lo, hi = self.size, self.size + k
+        self.ids[lo:hi] = ids
+        self.l[lo:hi] = l
+        self.r[lo:hi] = r
+        self.lrl[lo:hi] = lrl
+        self.ring[lo:hi] = ring
+        self.age[lo:hi] = age
+        self.alive[lo:hi] = True
+        for offset, nid in enumerate(ids.tolist()):
+            self._index[nid] = lo + offset
+        self.size = hi
+        self._dirty = True
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def remove_batch(self, nids: np.ndarray) -> np.ndarray:
+        """Tombstone a batch of identifiers; returns their (dead) slots.
+
+        State-equivalent to :meth:`remove` per id in any order.  The whole
+        batch is validated first (unknown or in-batch-duplicate ids raise
+        ``KeyError`` with no slot touched).
+        """
+        nids = np.ascontiguousarray(nids, dtype=np.float64)
+        if len(np.unique(nids)) != len(nids):
+            raise KeyError("duplicate node id within batch")
+        values = nids.tolist()
+        for nid in values:
+            if nid not in self._index:
+                raise KeyError(f"no node with id {nid!r}")
+        slots = np.array([self._index.pop(nid) for nid in values], dtype=np.int64)
+        self.alive[slots] = False
+        self._dirty = True
+        return slots
+
+    def scrub_departed_many(self, nids: np.ndarray) -> None:
+        """Vectorized :meth:`scrub_departed` over a whole departure batch.
+
+        Equivalent to the scalar scrub per id in any order: every scrubbed
+        value becomes a sentinel (±∞, ``NaN``, the owner id) that can never
+        equal a departing identifier, so one ``isin`` pass per column sees
+        exactly the rows the sequential scrubs would have rewritten.
+        """
+        nids = np.ascontiguousarray(nids, dtype=np.float64)
+        if len(nids) == 0:
+            return
+        n = self.size
+        live = self.alive[:n]
+        sel = live & np.isin(self.l[:n], nids)
+        self.l[:n][sel] = NEG_INF
+        sel = live & np.isin(self.r[:n], nids)
+        self.r[:n][sel] = POS_INF
+        sel = live & np.isin(self.ring[:n], nids)
+        self.ring[:n][sel] = np.nan
+        sel = live & np.isin(self.lrl[:n], nids)
+        self.lrl[:n][sel] = self.ids[:n][sel]
+        self.age[:n][sel] = 0
+
+    @property
+    def n_dead(self) -> int:
+        """Number of tombstoned slots awaiting compaction."""
+        return self.size - len(self._index)
+
+    def compact(self) -> None:
+        """Reclaim tombstoned slots by packing live rows to the front.
+
+        Compact indices change, so this is only safe at a round boundary:
+        outboxes and wire buffers carry destination *identifiers* (resolved
+        per round via :meth:`lookup`), and per-round inboxes are rebuilt
+        from scratch, so nothing holds a slot index across the call.  Live
+        rows keep their relative slot order; :meth:`snapshot` and every
+        identifier-keyed observable are unchanged.
+        """
+        n = self.size
+        keep = np.flatnonzero(self.alive[:n])
+        k = len(keep)
+        if k == n:
+            return
+        for name in ("ids", "l", "r", "lrl", "ring", "age", "alive"):
+            col = getattr(self, name)
+            packed = col[keep]
+            col[:k] = packed
+        self.alive[k:n] = False
+        self.size = k
+        self._index = dict(zip(self.ids[:k].tolist(), range(k)))
+        self._dirty = True
+
+    def maybe_compact(self, *, min_dead: int = 16) -> bool:
+        """Compact once tombstones dominate the slot space.
+
+        The trigger (``dead * 2 > size``, at least *min_dead* tombstones)
+        mirrors the chaos guard's compaction policy: each compaction at
+        least halves the slot count, so the gather cost is amortized O(1)
+        per membership event.  Returns whether a compaction ran.
+        """
+        dead = self.n_dead
+        if dead < min_dead or dead * 2 <= self.size:
+            return False
+        self.compact()
+        return True
 
     def index_of(self, nid: float) -> int | None:
         """Compact index of a *live* identifier, or ``None``."""

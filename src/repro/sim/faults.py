@@ -94,6 +94,20 @@ def corrupt_random_pointers(
     ``l``/``r`` are redirected to random order-respecting identifiers (only
     when ``corrupt_list_links``), ``lrl``/``ring`` to arbitrary ones, and
     ``age`` randomized — the transient-fault model of self-stabilization.
+
+    Draw choreography (shared, batch-shaped):
+    :func:`repro.sim.fast.chaos.faults.corrupt_random_pointers_engine` must
+    make the *identical* RNG calls so a twin-seeded ``PointerCorruption``
+    corrupts both engines bit-identically.  All draws are whole-batch
+    arrays — one ``choice`` for the victim positions, two uniforms per
+    victim for the l/r picks (always drawn, even with
+    ``corrupt_list_links=False`` or where a victim has no smaller/larger
+    identifier — a fixed draw budget), then the lrl/ring/age arrays — which
+    a PCG64 stream produces identically batched or one at a time.  A victim's
+    position *p* in the ascending id list directly counts its smaller ids
+    (``p``) and larger ids (``n−1−p``); a uniform ``u`` picks index
+    ``min(⌊u·k⌋, k−1)`` among ``k`` candidates (the clamp guards the
+    measure-zero float edge ``u·k == k``).
     """
     if not (0.0 <= fraction <= 1.0):
         raise ValueError("fraction must be in [0, 1]")
@@ -103,19 +117,30 @@ def corrupt_random_pointers(
     if count == 0:
         return 0
     victims = rng.choice(n, size=count, replace=False)
-    for v in victims:
-        state = network.node(ids[int(v)]).state
+    # The l/r coins are drawn whether or not list links are corrupted —
+    # a fixed draw budget keeps the stream identical across configs and
+    # engines (the engine port may not draw inside a config branch).
+    coin_l = rng.random(count)
+    coin_r = rng.random(count)
+    lrl_pick = rng.integers(0, n, size=count)
+    ring_pick = rng.integers(0, n, size=count)
+    ages = rng.integers(0, 1000, size=count)
+    for k, v in enumerate(victims):
+        p = int(v)
+        state = network.node(ids[p]).state
         if corrupt_list_links:
-            smaller = [i for i in ids if i < state.id]
-            larger = [i for i in ids if i > state.id]
-            state.corrupt(
-                l=smaller[int(rng.integers(len(smaller)))] if smaller else None,
-                r=larger[int(rng.integers(len(larger)))] if larger else None,
-            )
+            new_l = None
+            if p > 0:
+                new_l = ids[min(int(coin_l[k] * p), p - 1)]
+            new_r = None
+            if p < n - 1:
+                larger = n - 1 - p
+                new_r = ids[p + 1 + min(int(coin_r[k] * larger), larger - 1)]
+            state.corrupt(l=new_l, r=new_r)
         state.corrupt(
-            lrl=ids[int(rng.integers(n))],
-            ring=ids[int(rng.integers(n))],
-            age=int(rng.integers(0, 1000)),
+            lrl=ids[int(lrl_pick[k])],
+            ring=ids[int(ring_pick[k])],
+            age=int(ages[k]),
         )
     return count
 

@@ -36,11 +36,20 @@ from repro.topology.generators import TOPOLOGIES
 #: Experiments whose driver accepts ``engine=``.  Extending engine support
 #: to a new experiment must update this pin *and* add it to the matrices
 #: below.
-ENGINE_AWARE = {"e01", "e18", "e21"}
+ENGINE_AWARE = {"e01", "e06", "e07", "e17", "e18", "e21"}
 
 #: Small-n ``run()`` invocations per engine-aware experiment.
 QUICK_PARAMS: dict[str, dict[str, object]] = {
     "e01": dict(sizes=(16,), topologies=("line",), trials=1),
+    "e06": dict(sizes=(16, 24, 32), trials=1),
+    "e07": dict(sizes=(16, 24, 32), trials=1),
+    "e17": dict(
+        n=16,
+        rates=(0.5,),
+        rounds=30,
+        trials=1,
+        storms=("flash_crowd", "partition_heal"),
+    ),
     "e18": dict(sizes=(16, 32, 64), topologies=("line",), trials=1),
     "e21": dict(
         n=32,

@@ -170,13 +170,63 @@ class TestFailLoudlyContracts:
         with pytest.raises(TypeError, match="ChaosNetwork"):
             ChaosCampaign(sim, plan, ())
 
-    def test_scheduler_fault_rejected_on_fast_simulator(self):
+    def test_scheduler_fault_installs_wave_fault_on_fast_simulator(self):
         sim = FastSimulator.from_states(
             self.states, ProtocolConfig(), mode="chaos"
         )
+        fault = SchedulerFault(permute_waves=True, starvation=0.2)
+        fault.bind(np.random.default_rng(7))
+        fault.on_window_start(sim)
+        wave = fault._wave_fault
+        assert wave is not None
+        sim.run(8)
+        # Rounds with an empty inbox have no waves to permute, so the
+        # counter can trail the round count by a little.
+        assert 1 <= wave.permuted_rounds <= 8
+        assert wave.starved_rows > 0
+        fault.on_window_end(sim)
+        assert sim.engine._wave_fault is None
+        assert fault._wave_fault is None
+        # Perturbed dispatch must not lose membership or break invariants
+        # visible at the snapshot surface.
+        assert len(sim.engine) == 16
+
+    def test_scheduler_fault_without_scheduler_rejected_on_reference(self):
+        from repro.core.node import Node
+        from repro.sim.engine import Simulator
+        from repro.sim.network import Network
+
+        net = Network(Node(s, ProtocolConfig()) for s in self.states)
+        fault = SchedulerFault()
+        with pytest.raises(TypeError, match="scheduler= argument"):
+            fault.on_window_start(Simulator(net))
+
+    def test_scheduler_fault_rejected_on_mirror_chaos(self):
+        sim = FastSimulator.from_states(
+            self.states, ProtocolConfig(), mode="mirror-chaos"
+        )
         fault = SchedulerFault(SynchronousScheduler())
-        with pytest.raises(TypeError, match="reference simulator"):
+        with pytest.raises(TypeError, match="wave structure"):
             fault.on_window_start(sim)
+
+    def test_engine_support_registry_covers_every_injector(self):
+        """Ratchet: a new FaultInjector subclass cannot ship without a
+        documented batched-engine story in ENGINE_SUPPORT."""
+        import repro.sim.chaos.injectors as injectors_mod
+        from repro.sim.fast.chaos.support import ENGINE_SUPPORT, engine_story
+
+        subclasses = {
+            name
+            for name in injectors_mod.__all__
+            if isinstance(getattr(injectors_mod, name), type)
+            and issubclass(getattr(injectors_mod, name), FaultInjector)
+            and getattr(injectors_mod, name) is not FaultInjector
+        }
+        assert subclasses <= set(ENGINE_SUPPORT), (
+            f"injectors missing a batched story: "
+            f"{sorted(subclasses - set(ENGINE_SUPPORT))}"
+        )
+        assert engine_story(SchedulerFault).startswith("round-window hook")
 
     def test_unknown_e21_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):

@@ -1,0 +1,156 @@
+"""Property tests: batched membership ops vs their scalar contracts.
+
+The exactness claims of the batched membership layer (docs/CHAOS.md
+"Churn at scale"):
+
+* ``join_batch`` is state-equivalent to ``join`` once per pair in
+  ascending new-id order;
+* ``leave_batch`` is state-equivalent to ``leave`` once per victim in
+  ascending id order — including the counted-drop statistic, whose
+  ``d <= m`` accounting exists exactly so the batch matches the fold;
+* compaction is invisible: forcing :meth:`SoAState.compact` after every
+  membership op never changes the observable state (snapshot, pending
+  messages, live ids) nor the future — twin engines stay identical
+  through subsequent same-seed rounds.
+
+Engines are twin-seeded and pre-run a few rounds first so the outboxes
+hold real staged traffic when the membership ops land (the interesting
+case for drop/purge accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ProtocolConfig
+from repro.sim.fast import FastSimulator
+from repro.topology.generators import line_topology
+
+N = 16
+WARMUP = 3
+
+
+def twin_engines(seed: int):
+    """Two bit-identical batched engines with populated outboxes."""
+
+    def mk():
+        sim = FastSimulator.from_states(
+            line_topology(N, np.random.default_rng(seed)),
+            ProtocolConfig(),
+            mode="batched",
+            rng=np.random.default_rng(seed + 4096),
+        )
+        sim.run(WARMUP)
+        return sim
+
+    return mk(), mk()
+
+
+def assert_twins(a, b) -> None:
+    assert a.engine.state_snapshot() == b.engine.state_snapshot()
+    assert a.engine.pending_total() == b.engine.pending_total()
+    assert a.engine.ids == b.engine.ids
+    assert a.engine.dropped == b.engine.dropped
+
+
+join_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=0.999),
+        st.integers(min_value=0, max_value=N - 1),
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda p: p[0],
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16), pairs=join_pairs)
+def test_join_batch_equals_sequential_scalar_joins(seed, pairs):
+    a, b = twin_engines(seed)
+    ids = np.asarray(a.engine.ids, dtype=np.float64)
+    new_ids = np.array([p[0] for p in pairs])
+    contacts = ids[[p[1] for p in pairs]]
+    keep = ~np.isin(new_ids, ids)  # hypothesis can't hit these, but be safe
+    new_ids, contacts = new_ids[keep], contacts[keep]
+    if len(new_ids) == 0:
+        return
+
+    added = a.engine.join_batch(new_ids, contacts)
+    for k in np.argsort(new_ids, kind="stable").tolist():
+        b.engine.join(float(new_ids[k]), float(contacts[k]))
+
+    assert added == len(new_ids)
+    assert_twins(a, b)
+    # Identical state + identical generators → identical futures.
+    a.run(2)
+    b.run(2)
+    assert_twins(a, b)
+
+
+victim_picks = st.lists(
+    st.integers(min_value=0, max_value=N - 1),
+    min_size=1,
+    max_size=N - 4,
+    unique=True,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16), picks=victim_picks)
+def test_leave_batch_equals_sequential_scalar_leaves(seed, picks):
+    a, b = twin_engines(seed)
+    ids = np.asarray(a.engine.ids, dtype=np.float64)
+    victims = ids[sorted(picks)]
+
+    departed = a.engine.leave_batch(victims)
+    for nid in victims.tolist():
+        b.engine.leave(nid)
+
+    assert departed == len(victims)
+    assert_twins(a, b)
+    a.run(2)
+    b.run(2)
+    assert_twins(a, b)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("join"),
+            st.floats(min_value=0.001, max_value=0.999),
+        ),
+        st.tuples(st.just("leave"), st.integers(min_value=0, max_value=63)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16), ops=ops_strategy)
+def test_forced_compaction_never_observable(seed, ops):
+    """Twin engines, same membership ops; one compacts after every op."""
+    a, b = twin_engines(seed)
+    for kind, value in ops:
+        live = np.asarray(a.engine.ids, dtype=np.float64)
+        if kind == "join":
+            if value in live:
+                continue
+            contact = live[int(value * 1000) % len(live)]
+            a.engine.join_batch(np.array([value]), np.array([contact]))
+            b.engine.join_batch(np.array([value]), np.array([contact]))
+        else:
+            if len(live) <= 4:
+                continue
+            victim = live[value % len(live)]
+            a.engine.leave_batch(np.array([victim]))
+            b.engine.leave_batch(np.array([victim]))
+        b.engine.soa.compact()
+        assert b.engine.soa.n_dead == 0
+        assert_twins(a, b)
+    a.run(3)
+    b.run(3)
+    assert_twins(a, b)
