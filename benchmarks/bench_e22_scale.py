@@ -16,6 +16,22 @@ from _harness import run_and_report
 TRAJECTORY = pathlib.Path(__file__).parent.parent / "BENCH_e22_scale.json"
 
 
+def _append_trajectory(bench: str, result) -> None:
+    entries = []
+    if TRAJECTORY.exists():
+        entries = json.loads(TRAJECTORY.read_text())
+    entries.append(
+        {
+            "bench": bench,
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "params": {k: str(v) for k, v in result.params.items()},
+            "rows": result.rows,
+        }
+    )
+    TRAJECTORY.write_text(json.dumps(entries, indent=2) + "\n")
+
+
 def test_e22_scale(benchmark):
     result = run_and_report(
         benchmark,
@@ -36,16 +52,52 @@ def test_e22_scale(benchmark):
     # The long-range links must buy routing something over the bare ring.
     assert all(r["route_hops"] < r["ring_hops"] for r in result.rows)
 
-    entries = []
-    if TRAJECTORY.exists():
-        entries = json.loads(TRAJECTORY.read_text())
-    entries.append(
-        {
-            "bench": "e22_scale",
-            "machine": platform.machine(),
-            "python": platform.python_version(),
-            "params": {k: str(v) for k, v in result.params.items()},
-            "rows": result.rows,
-        }
+    _append_trajectory("e22_scale", result)
+
+
+def test_e22_scale_faulted(benchmark):
+    """Faulted variant (docs/CHAOS.md): cold convergence through a 20%
+    loss burst on the guarded chaos transport, now up to the n=49,152
+    row."""
+    result = run_and_report(
+        benchmark,
+        "e22",
+        tag="faulted",
+        sizes=(2048, 8192, 49152),
+        queries=2000,
+        reference_max_n=0,
+        loss_rate=0.2,
+        burst_stop=60,
     )
-    TRAJECTORY.write_text(json.dumps(entries, indent=2) + "\n")
+    # Recovery-cost shape: every size converges, no handoff abandoned.
+    assert all(r["abandoned"] == 0 for r in result.rows)
+    assert all(r["route_hops"] < r["ring_hops"] for r in result.rows)
+
+    _append_trajectory("e22_scale_faulted", result)
+
+
+def test_e22_scale_sharded(benchmark):
+    """The sharded-engine scale leg (docs/PERF.md): cold convergence at
+    n=2^18 on contiguous id-range shards, recording wall clock and peak
+    RSS.  On multi-core hosts raise ``workers``; ``workers=0`` keeps every
+    shard in this process, which is the honest configuration for the
+    single-CPU CI box (see benchmarks/shard_waiver.json)."""
+    result = run_and_report(
+        benchmark,
+        "e22",
+        tag="sharded",
+        sizes=(262144,),
+        queries=2000,
+        reference_max_n=0,
+        engine="sharded",
+        shards=4,
+        workers=0,
+    )
+    row = result.rows[0]
+    # Polylog rounds must survive the 2^18 jump (same gate shape as the
+    # 49k row of the plain leg).
+    assert row["rounds"] < 0.02 * 262144
+    assert row["route_hops"] < row["ring_hops"]
+    assert row["peak_rss_mb"] != ""
+
+    _append_trajectory("e22_scale_sharded", result)

@@ -9,7 +9,8 @@ Four rule families (ISSUE 1):
    ``import-time-rng``;
 4. **self-stabilization hygiene** — ``bare-except``, ``broad-except``,
    ``silent-except``, ``mutable-default``;
-5. **SoA performance discipline** (advisory) — ``scalar-loop-over-soa``.
+5. **SoA performance discipline** — ``scalar-loop-over-soa`` (promoted
+   from advisory once every deliberate scalar site carried its pragma).
 
 ``ALL_RULES`` instantiates one of each; ``RULES_BY_ID`` indexes them for
 the CLI's ``--select``/``--ignore`` filters and the pragma machinery.

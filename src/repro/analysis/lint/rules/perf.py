@@ -31,7 +31,7 @@ class ScalarLoopOverSoaRule(Rule):
     """Element-wise Python loop over SoA columns in the fast engine."""
 
     id: ClassVar[str] = "scalar-loop-over-soa"
-    severity: ClassVar[Severity] = Severity.WARNING
+    severity: ClassVar[Severity] = Severity.ERROR
     summary: ClassVar[str] = (
         "Python-level for loop indexes SoA columns element-by-element "
         "inside repro.sim.fast (vectorize or justify with a pragma)"

@@ -25,12 +25,24 @@ import numpy as np
 from repro.core.protocol import ProtocolConfig, build_network
 from repro.experiments.common import ExperimentResult, seed_rng
 from repro.graphs.predicates import is_sorted_ring
+from repro.obs.profile import peak_rss_bytes
 from repro.routing.greedy import greedy_route_hops
 from repro.sim.engine import Simulator
 from repro.sim.fast import FastSimulator, fast_is_sorted_ring
 from repro.topology.generators import TOPOLOGIES
 
 __all__ = ["converged_lrl_ranks", "run"]
+
+_ENGINES = ("fast", "sharded", "reference")
+
+
+def _lrl_ranks(ids: np.ndarray, lrl: np.ndarray) -> np.ndarray:
+    """Rank-space long-range links over ascending *ids* (dangling → self)."""
+    ranks = np.searchsorted(ids, lrl)
+    ranks = np.clip(ranks, 0, len(ids) - 1)
+    live = ids[ranks] == lrl
+    ranks[~live] = np.arange(len(ids))[~live]
+    return ranks
 
 
 def converged_lrl_ranks(sim: FastSimulator) -> np.ndarray:
@@ -44,12 +56,7 @@ def converged_lrl_ranks(sim: FastSimulator) -> np.ndarray:
     """
     engine = sim.engine
     ids, idx = engine.soa.sorted_live()
-    lrl = engine.soa.lrl[idx]
-    ranks = np.searchsorted(ids, lrl)
-    ranks = np.clip(ranks, 0, len(ids) - 1)
-    live = ids[ranks] == lrl
-    ranks[~live] = np.arange(len(ids))[~live]
-    return ranks
+    return _lrl_ranks(ids, engine.soa.lrl[idx])
 
 
 def _stabilize_faulted(
@@ -90,12 +97,24 @@ def run(
     max_rounds_factor: int = 60,
     loss_rate: float = 0.0,
     burst_stop: int = 60,
+    engine: str = "fast",
+    shards: int = 2,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Run the scale sweep; one row per size.
 
+    ``engine`` selects the primary engine: ``"fast"`` (the batched
+    default), ``"sharded"`` (the multiprocess sharded engine, with
+    *shards* id-range blocks on *workers* processes — ``workers=0`` runs
+    every shard in-process), or ``"reference"`` (the per-node engine, for
+    the cross-engine conformance matrix at small n).  The timing column
+    ``fast_s`` always reports the primary engine's wall clock, and the
+    ``peak_rss_mb`` column the process peak RSS after the row's run.
+
     ``reference_max_n`` caps the sizes at which the reference engine is
-    also run (it needs minutes per round in the tens of thousands); the
-    speedup column is blank above the cap.
+    *additionally* run for the measured-speedup column (it needs minutes
+    per round in the tens of thousands); the column is blank above the
+    cap and when the primary engine is already the reference.
 
     ``loss_rate > 0`` switches to the **faulted variant**: cold
     convergence through a message-loss burst (rounds ``[0, burst_stop)``)
@@ -103,8 +122,18 @@ def run(
     (:mod:`repro.sim.fast.chaos`, docs/CHAOS.md).  The reference engine is
     skipped — at these sizes the scalar chaos wire needs minutes per
     round — so the speedup columns are blank and guard-overhead columns
-    appear instead.
+    appear instead.  Wire faults require the chaos transport, so the
+    faulted variant is ``engine="fast"`` only.
     """
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {_ENGINES}"
+        )
+    if loss_rate and engine != "fast":
+        raise ValueError(
+            "the faulted variant runs on the vectorized chaos transport; "
+            f"it supports engine='fast' only, not {engine!r}"
+        )
     result = ExperimentResult(
         experiment="e22",
         title="Cold convergence and greedy routing at production scale "
@@ -118,16 +147,21 @@ def run(
             "reference_max_n": reference_max_n,
             "seed": seed,
             "loss_rate": loss_rate,
+            "engine": engine,
         },
     )
     if loss_rate:
         result.params["burst_stop"] = burst_stop
+    if engine == "sharded":
+        result.params["shards"] = shards
+        result.params["workers"] = workers
     factory = TOPOLOGIES[topology]
     config = ProtocolConfig()
     for n in sizes:
         states = factory(n, seed_rng(seed, topology, n))
         max_rounds = max_rounds_factor * max(int(np.log2(n)) ** 2, 1)
 
+        ref_primary: Simulator | None = None
         if loss_rate:
             from repro.sim.chaos.guard import GuardPolicy
 
@@ -146,24 +180,44 @@ def run(
                 plan_seed=seed,
                 max_rounds=max_rounds,
             )
-        else:
-            fast = FastSimulator.from_states(
-                [s.copy() for s in states],
-                config,
-                rng=seed_rng(seed, "fast", n),
+        elif engine == "reference":
+            net = build_network([s.copy() for s in states], config)
+            ref_primary = Simulator(net, rng=seed_rng(seed, "fast", n))
+            t0 = time.perf_counter()
+            fast_rounds = ref_primary.run_until(
+                lambda network: is_sorted_ring(network.states()),
+                max_rounds=max_rounds,
+                check_every=8,
+                what="sorted ring (reference primary)",
             )
+        else:
+            if engine == "sharded":
+                fast = FastSimulator.from_states(
+                    [s.copy() for s in states],
+                    config,
+                    mode="sharded",
+                    shards=shards,
+                    workers=workers,
+                    rng=seed_rng(seed, "fast", n),
+                )
+            else:
+                fast = FastSimulator.from_states(
+                    [s.copy() for s in states],
+                    config,
+                    rng=seed_rng(seed, "fast", n),
+                )
             t0 = time.perf_counter()
             fast_rounds = fast.run_until(
                 fast_is_sorted_ring,
                 max_rounds=max_rounds,
                 check_every=8,
-                what="sorted ring (batched)",
+                what=f"sorted ring ({engine})",
             )
         fast_seconds = time.perf_counter() - t0
 
         ref_seconds = None
         ref_rounds = None
-        if n <= reference_max_n and not loss_rate:
+        if n <= reference_max_n and not loss_rate and engine != "reference":
             net = build_network([s.copy() for s in states], config)
             reference = Simulator(net, rng=seed_rng(seed, "ref", n))
             t0 = time.perf_counter()
@@ -180,19 +234,29 @@ def run(
         # their cold-start values, so routing there measures the sorted
         # ring, not the small world.  Doubling the horizon is cheap and
         # shows the finite-horizon shortcut payoff (E5's "process" curve).
-        fast.run(fast_rounds)
         query_rng = seed_rng(seed, "queries", n)
         src = query_rng.integers(0, n, size=queries)
         dst = query_rng.integers(0, n, size=queries)
-        hops = float(
-            greedy_route_hops(n, converged_lrl_ranks(fast), src, dst).mean()
-        )
+        if ref_primary is not None:
+            ref_primary.run(fast_rounds)
+            messages = ref_primary.network.stats.total
+            final = sorted(
+                ref_primary.network.states().values(), key=lambda s: s.id
+            )
+            ids = np.array([s.id for s in final])
+            ranks = _lrl_ranks(ids, np.array([s.lrl for s in final]))
+        else:
+            fast.run(fast_rounds)
+            messages = fast.engine.stats.total
+            ranks = converged_lrl_ranks(fast)
+        hops = float(greedy_route_hops(n, ranks, src, dst).mean())
         ring_hops = float(greedy_route_hops(n, None, src, dst).mean())
+        rss = peak_rss_bytes()
 
         row: dict[str, object] = {
             "n": n,
             "rounds": fast_rounds,
-            "messages": fast.engine.stats.total,
+            "messages": messages,
             "fast_s": round(fast_seconds, 3),
             "ref_s": round(ref_seconds, 3) if ref_seconds is not None else "",
             "ref_rounds": ref_rounds if ref_rounds is not None else "",
@@ -204,11 +268,16 @@ def run(
             "route_hops": round(hops, 2),
             "ring_hops": round(ring_hops, 2),
             "ln2_n": round(float(np.log(n) ** 2), 1),
+            "peak_rss_mb": (
+                round(rss / 1e6, 1) if rss is not None else ""
+            ),
         }
         if loss_rate:
             guard_stats = fast.engine.guard.stats
             row["overhead_frames"] = guard_stats.overhead_frames()
             row["abandoned"] = guard_stats.abandoned
+        if engine == "sharded":
+            fast.engine.close()
         result.rows.append(row)
 
     measured = [r for r in result.rows if r["speedup"] != ""]

@@ -44,6 +44,8 @@ _EXPORTS: dict[str, str] = {
     "PrometheusExporter": "repro.obs.exporters",
     "prometheus_text": "repro.obs.exporters",
     "MANIFEST_SCHEMA": "repro.obs.manifest",
+    "diff_manifests": "repro.obs.diff",
+    "render_diff": "repro.obs.diff",
     "manifest_from_benchmark_json": "repro.obs.bench",
     "write_benchmark_manifest": "repro.obs.bench",
     "ManifestExporter": "repro.obs.manifest",

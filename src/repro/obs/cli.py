@@ -11,7 +11,10 @@ stack.
   finished stream (the JSONL exporter flushes per event, and
   ``RunRecorder`` flushes per snapshot, so in-progress runs tail cleanly);
 * ``repro obs validate DIR`` — manifest schema + stream well-formedness
-  (the ``obs-smoke`` CI gate).
+  (the ``obs-smoke`` CI gate);
+* ``repro obs diff A B`` — per-metric / per-kernel deltas between two run
+  manifests, with optional regression thresholds
+  (:mod:`repro.obs.diff`).
 """
 
 from __future__ import annotations
@@ -286,6 +289,10 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
     p_val = sub.add_parser("validate", help="validate manifest + stream schema")
     p_val.add_argument("directory", help="obs directory to validate")
     p_val.set_defaults(obs_func=_cmd_validate)
+
+    from repro.obs.diff import add_diff_parser
+
+    add_diff_parser(sub)
     return parser
 
 

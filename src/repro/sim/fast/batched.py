@@ -50,6 +50,7 @@ from repro.sim.fast.buffers import (
     build_inbox,
 )
 from repro.sim.fast.kernels import Kernels
+from repro.sim.fast.pool import ArrayPool
 from repro.sim.fast.sanitize import (
     FlowSanitizer,
     SanitizedOutbox,
@@ -107,6 +108,7 @@ class FastEngine:
         dedup: bool = True,
         keep_history: bool = False,
         sanitize: bool | None = None,
+        compact_outbox: bool | None = None,
     ) -> None:
         cfg = config or ProtocolConfig()
         if cfg.trace is not None:
@@ -118,7 +120,14 @@ class FastEngine:
         self.soa = SoAState.from_states(states)
         self.dedup = dedup
         self.stats = MessageStats(keep_history=keep_history)
-        self.outbox = Outbox(self.stats)
+        # Mid-round staged-row dedup is sound exactly when the inbox dedups
+        # anyway (coalescing-set semantics); the chaos wire overrides this
+        # to keep its frame multiset byte-exact.
+        if compact_outbox is None:
+            compact_outbox = dedup
+        self.outbox = Outbox(self.stats, auto_compact=compact_outbox)
+        #: Recycles the inbox-assembly temporaries across rounds.
+        self.pool = ArrayPool()
         # The sanitizer scopes recording to kernel code: the engine keeps
         # its real state/outbox references, only the kernels see the
         # recording proxies.  Draw order is untouched either way, so a
@@ -165,41 +174,65 @@ class FastEngine:
             self.soa.lookup,
             rng,
             dedup=self.dedup,
+            pool=self.pool,
         )
         if profiler is not None:
             profiler.add("flush", time.perf_counter() - t0)
         self.dropped += dropped
         if inbox is not None:
-            # Group rows by (wave, type): ascending waves preserve each
-            # node's sequential receive order; within a wave destinations
-            # are unique, so the type-dispatch order is immaterial.
-            group = inbox.rank.astype(np.int64) * 8 + inbox.tcode
-            order = np.argsort(group, kind="stable")
-            sorted_keys = group[order]
-            starts = np.flatnonzero(
-                np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
-            )
-            ends = np.r_[starts[1:], len(sorted_keys)]
-            groups: list[WaveGroup] = [
-                (int(sorted_keys[lo] & 7), order[lo:hi])
-                for lo, hi in zip(starts, ends)
-            ]
+            groups = self._wave_groups(inbox)
             fault = self._wave_fault
             if fault is not None:
                 groups, starved = fault.rewrite(groups)
                 for code, rows in starved:
                     self._defer_rows(code, inbox, rows)
-            for code, rows in groups:
-                if profiler is None:
-                    self._dispatch(code, inbox, rows, rng)
-                else:
-                    t1 = time.perf_counter()
-                    self._dispatch(code, inbox, rows, rng)
-                    profiler.add(
-                        KERNEL_NAMES[code],
-                        time.perf_counter() - t1,
-                        calls=len(rows),
-                    )
+            self._dispatch_groups(inbox, groups, rng)
+        self._run_regular(rng)
+        self._close_round(rng)
+
+    @staticmethod
+    def _wave_groups(inbox: RoundInbox) -> list[WaveGroup]:
+        """The round's conflict-free dispatch units in canonical order.
+
+        Group rows by (wave, type): ascending waves preserve each node's
+        sequential receive order; within a wave destinations are unique,
+        so the type-dispatch order is immaterial.
+        """
+        group = inbox.rank.astype(np.int64) * 8 + inbox.tcode
+        order = np.argsort(group, kind="stable")
+        sorted_keys = group[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+        )
+        ends = np.r_[starts[1:], len(sorted_keys)]
+        return [
+            (int(sorted_keys[lo] & 7), order[lo:hi])
+            for lo, hi in zip(starts, ends)
+        ]
+
+    def _dispatch_groups(
+        self,
+        inbox: RoundInbox,
+        groups: list[WaveGroup],
+        rng: np.random.Generator,
+    ) -> None:
+        """Run wave groups through their kernels, timing under a profiler."""
+        profiler = self.profiler
+        for code, rows in groups:
+            if profiler is None:
+                self._dispatch(code, inbox, rows, rng)
+            else:
+                t1 = time.perf_counter()
+                self._dispatch(code, inbox, rows, rng)
+                profiler.add(
+                    KERNEL_NAMES[code],
+                    time.perf_counter() - t1,
+                    calls=len(rows),
+                )
+
+    def _run_regular(self, rng: np.random.Generator) -> None:
+        """One batched regular action over all live nodes (sanitized)."""
+        profiler = self.profiler
         t2 = time.perf_counter() if profiler is not None else 0.0
         _, live_idx = self.soa.sorted_live()
         san = self.sanitizer
@@ -215,7 +248,6 @@ class FastEngine:
             san.end()
         if profiler is not None:
             profiler.add("regular", time.perf_counter() - t2, calls=len(live_idx))
-        self._close_round(rng)
 
     def _dispatch(
         self,

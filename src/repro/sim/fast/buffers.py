@@ -30,11 +30,15 @@ from __future__ import annotations
 import os
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.messages import Message, MessageType
 from repro.sim.metrics import MessageStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.fast.pool import ArrayPool
 
 __all__ = [
     "LIN",
@@ -48,8 +52,12 @@ __all__ = [
     "TYPE_OF_CODE",
     "CODE_OF_TYPE",
     "Outbox",
+    "PreparedInbox",
     "RoundInbox",
     "build_inbox",
+    "draw_delivery_keys",
+    "finalize_inbox",
+    "prepare_inbox",
     "victim_rank",
 ]
 
@@ -104,12 +112,20 @@ class Outbox:
     to an identifier that no longer exists.
     """
 
-    __slots__ = ("_chunks", "_counts", "stats")
+    __slots__ = ("_chunks", "_compact_floor", "_counts", "auto_compact", "stats")
 
-    def __init__(self, stats: MessageStats) -> None:
+    #: Below this many staged rows a type is never worth compacting.
+    COMPACT_MIN = 4096
+
+    def __init__(self, stats: MessageStats, *, auto_compact: bool = False) -> None:
         self.stats = stats
         self._chunks: list[list[_Chunk]] = [[] for _ in range(N_TYPES)]
         self._counts: list[int] = [0] * N_TYPES
+        #: Coalesce + dedup staged rows mid-round once a type's backlog
+        #: doubles (engine-enabled only under coalescing-set semantics;
+        #: the chaos wire needs the raw frame multiset and keeps this off).
+        self.auto_compact = auto_compact
+        self._compact_floor: list[int] = [self.COMPACT_MIN] * N_TYPES
 
     def send(
         self,
@@ -125,7 +141,74 @@ class Outbox:
         if count == 0:
             return
         self._counts[code] += count
-        self._chunks[code].append((dest, a, b, c, origin))
+        chunks = self._chunks[code]
+        chunks.append((dest, a, b, c, origin))
+        if (
+            self.auto_compact
+            and len(chunks) >= 8
+            and sum(len(ch[0]) for ch in chunks) >= self._compact_floor[code]
+        ):
+            self._compact_code(code)
+
+    def _compact_code(self, code: int) -> None:
+        """Coalesce one type's staged chunks into a single deduped chunk.
+
+        Exact-duplicate rows are removed early — the same rows inbox dedup
+        would coalesce at the next flush anyway, so under coalescing-set
+        semantics the delivered set is untouched; only the transient RAM
+        (and the drop *accounting*, which counts physical rows addressed
+        to dead ids) sees the difference.  Send stats are unaffected:
+        counts accrue at :meth:`send` time.
+        """
+        chunks = self._chunks[code]
+        dest = np.concatenate([ch[0] for ch in chunks])
+        a = np.concatenate([ch[1] for ch in chunks])
+        if code == RESLRL:
+            b = np.concatenate([_col(ch, 2, len(ch[0])) for ch in chunks])
+            c = np.concatenate([_col(ch, 3, len(ch[0])) for ch in chunks])
+            keys: tuple[np.ndarray, ...] = (
+                np.ascontiguousarray(c).view(np.uint64),
+                np.ascontiguousarray(b).view(np.uint64),
+                np.ascontiguousarray(a).view(np.uint64),
+                np.ascontiguousarray(dest).view(np.uint64),
+            )
+        else:
+            b = c = None
+            keys = (
+                np.ascontiguousarray(a).view(np.uint64),
+                np.ascontiguousarray(dest).view(np.uint64),
+            )
+        order = np.lexsort(keys)
+        sorted_keys = tuple(k[order] for k in keys)
+        fresh = np.zeros(len(order), dtype=bool)
+        fresh[0] = True
+        for k in sorted_keys:
+            fresh[1:] |= k[1:] != k[:-1]
+        keep = order[fresh]
+        # Origin survives only when every source chunk carried it (the
+        # chaos wire keeps auto-compaction off, so fault-free `None`
+        # columns simply stay dropped).
+        origin: np.ndarray | None = None
+        if all(ch[4] is not None for ch in chunks):
+            origin = np.concatenate([ch[4] for ch in chunks])[keep]  # type: ignore[misc]
+        self._chunks[code] = [
+            (
+                dest[keep],
+                a[keep],
+                None if b is None else b[keep],
+                None if c is None else c[keep],
+                origin,
+            )
+        ]
+        self._compact_floor[code] = max(self.COMPACT_MIN, 2 * len(keep))
+
+    def drain_counts(self) -> list[int]:
+        """Remove and return the per-type send counts accumulated since the
+        last flush (shard cores report these to the coordinator instead of
+        owning shared stats)."""
+        counts = self._counts
+        self._counts = [0] * N_TYPES
+        return counts
 
     def flush_stats(self) -> None:
         """Transfer accumulated send counts into the shared stats.
@@ -333,7 +416,10 @@ class RoundInbox:
 
     Rows are sorted by ``(dest_idx, uniform key)``; ``rank`` is each row's
     position within its destination's segment, so ``rank == k`` selects
-    wave *k* (at most one message per destination).
+    wave *k* (at most one message per destination).  ``dest_idx`` and
+    ``rank`` are int32 — the slot-count and wave-count ceilings are far
+    below 2^31, and at 2^18 nodes the narrower index columns are a real
+    slice of the round's peak RSS.
     """
 
     dest_idx: np.ndarray
@@ -348,31 +434,53 @@ class RoundInbox:
         return len(self.dest_idx)
 
 
-def build_inbox(
+@dataclass
+class PreparedInbox:
+    """Resolved, deduped rows in *canonical order*, before delivery keys.
+
+    The halfway point of :func:`build_inbox`: destinations are resolved to
+    slots, dead destinations dropped, and (under ``dedup``) exact
+    duplicates coalesced with the rows re-emitted in the content-determined
+    canonical order — destination-slot-major, non-``reslrl`` block first,
+    ``reslrl`` block last.  Canonical order is a pure function of the row
+    *set*, independent of staging order; the sharded engine leans on this
+    to draw one global delivery-key array and scatter contiguous slices to
+    shards (slot blocks are id-contiguous, so the global canonical order is
+    the shard-ascending concatenation of per-shard canonical orders).
+
+    ``n_res`` counts the trailing ``reslrl`` rows (only meaningful under
+    ``dedup``, where the block is a suffix).  ``packed_ok`` reports whether
+    every slot index fits the packed 21+42-bit sort encoding.
+    """
+
+    dest_idx: np.ndarray
+    tcode: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    n_res: int
+    packed_ok: bool
+
+    def __len__(self) -> int:
+        return len(self.dest_idx)
+
+
+def prepare_inbox(
     chunks: list[list[_Chunk]],
     lookup: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
-    rng: np.random.Generator,
     *,
     dedup: bool,
-) -> tuple[RoundInbox | None, int]:
-    """Assemble the round's inbox from last round's staged chunks.
+    pool: "ArrayPool | None" = None,
+) -> tuple[PreparedInbox | None, int]:
+    """Concatenate, resolve, drop and dedup last round's staged chunks.
 
-    Parameters
-    ----------
-    chunks:
-        The outbox's :meth:`Outbox.take_all` result.
-    lookup:
-        Vectorized id→index resolution (``SoAState.lookup``); unresolved
-        destinations are dropped and counted (second return value), the
-        batched analogue of the reference network's drop-on-flush.
-    rng:
-        Draws the uniform delivery-ordering keys — the round's single
-        batched RNG call for delivery order.
-    dedup:
-        Coalesce identical ``(dest, type, payload)`` rows, the array
-        analogue of the reference channel's coalescing-set mode
-        (DESIGN.md §4.7); ``False`` preserves multiset semantics.
+    The RNG-free front half of :func:`build_inbox`; see there for the
+    parameter contract.  With *pool*, the big per-round concatenation
+    temporaries come from recycled buffers (the pool is reclaimed here, at
+    the top of the round, when the previous round's views are dead).
     """
+    if pool is not None:
+        pool.reclaim()
     dests: list[np.ndarray] = []
     cols_a: list[np.ndarray] = []
     per_code_counts = np.zeros(N_TYPES, dtype=np.int64)
@@ -390,13 +498,19 @@ def build_inbox(
     if not dests:
         return None, 0
     total = int(per_code_counts.sum())
-    dest_id = np.concatenate(dests)
+    if pool is None:
+        dest_id = np.concatenate(dests)
+        a = np.concatenate(cols_a)
+        b = np.zeros(total, dtype=np.float64)
+        c = np.zeros(total, dtype=np.float64)
+    else:
+        dest_id = np.concatenate(dests, out=pool.take(total, np.float64))
+        a = np.concatenate(cols_a, out=pool.take(total, np.float64))
+        # Only reslrl carries payload columns b/c; fill the rest with the
+        # 0.0 filler in one allocation instead of zero-chunks per send.
+        b = pool.zeros(total, np.float64)
+        c = pool.zeros(total, np.float64)
     tcode = np.repeat(np.arange(N_TYPES, dtype=np.int8), per_code_counts)
-    a = np.concatenate(cols_a)
-    # Only reslrl carries payload columns b/c; fill the rest with the 0.0
-    # filler in one allocation instead of zero-chunks per send.
-    b = np.zeros(total, dtype=np.float64)
-    c = np.zeros(total, dtype=np.float64)
     if reslrl_b:
         lo = int(per_code_counts[:RESLRL].sum())
         hi = lo + int(per_code_counts[RESLRL])
@@ -411,6 +525,7 @@ def build_inbox(
         a, b, c = a[found], b[found], c[found]
     if len(dest_idx) == 0:
         return None, dropped
+    n_res = int((tcode == RESLRL).sum())
 
     if dedup:
         # Exact row dedup via integer keys: (dest, type) packed into one
@@ -419,7 +534,9 @@ def build_inbox(
         # never goes on the wire).  ``tcode`` is nondecreasing by
         # construction, so the reslrl rows — the only type with b/c
         # payloads — form one contiguous block; everything else dedups on
-        # just (head, a), keeping the dominant sort at two keys.
+        # just (head, a), keeping the dominant sort at two keys.  The
+        # surviving rows come out in sorted-key (canonical) order, reslrl
+        # block last.
         head = dest_idx.astype(np.int64) * np.int64(N_TYPES + 1) + tcode
         a_bits = np.ascontiguousarray(a).view(np.uint64)
         lo = int(np.searchsorted(tcode, RESLRL, side="left"))
@@ -454,23 +571,60 @@ def build_inbox(
         dest_idx = dest_idx[unique_pos]
         tcode = tcode[unique_pos]
         a, b, c = a[unique_pos], b[unique_pos], c[unique_pos]
+        n_res = len(keep_chunks[-1]) if hi > lo else 0
 
-    # Delivery order: one uniform key per row, sorted by (dest, key).  A
-    # single packed-int64 argsort beats a two-key lexsort; 42 random bits
-    # make key ties (which fall back to staging order) vanishingly rare
-    # and harmless — any exchangeable tiebreak is still a uniform order.
-    if len(dest_idx) and int(dest_idx.max()) < (1 << 21):
+    packed_ok = bool(len(dest_idx)) and int(dest_idx.max()) < (1 << 21)
+    return (
+        PreparedInbox(
+            dest_idx=dest_idx.astype(np.int32, copy=False),
+            tcode=tcode,
+            a=a,
+            b=b,
+            c=c,
+            n_res=n_res,
+            packed_ok=packed_ok,
+        ),
+        dropped,
+    )
+
+
+def draw_delivery_keys(
+    rng: np.random.Generator, count: int, *, packed_ok: bool
+) -> np.ndarray:
+    """One uniform delivery key per prepared row, in canonical row order.
+
+    Integer keys feed the packed single-argsort encoding; beyond 2M slots
+    the encoding overflows and float keys feed a two-key lexsort instead.
+    The draw sits in the exact stream position :func:`build_inbox` always
+    used, so splitting the assembly is invisible to seeded runs.
+    """
+    if packed_ok:
+        return rng.integers(0, 1 << 42, size=count, dtype=np.int64)  # repro-flow: ignore[flow-branch-rng] both branches draw exactly once per inbox row; the branch picks the sort encoding, not the draw count
+    return rng.random(count)
+
+
+def finalize_inbox(pre: PreparedInbox, keys: np.ndarray) -> RoundInbox:
+    """Order prepared rows by ``(dest, key)`` and assign wave ranks.
+
+    *keys* aligns with *pre*'s canonical row order — either int64 (packed
+    encoding, requires ``pre.packed_ok``) or float64 (lexsort path).  Key
+    ties fall back to canonical position order via the stable sort: an
+    exchangeable tiebreak, still a uniform delivery order, and — crucially
+    for the sharded engine — a *content-determined* one.
+    """
+    dest_idx = pre.dest_idx
+    if keys.dtype == np.int64:
         packed = dest_idx.astype(np.int64) << np.int64(42)
-        packed |= rng.integers(0, 1 << 42, size=len(dest_idx), dtype=np.int64)  # repro-flow: ignore[flow-branch-rng] both branches draw exactly once per inbox row; the branch picks the sort encoding, not the draw count
+        packed |= keys
         order = np.argsort(packed, kind="stable")
     else:  # pragma: no cover - beyond 2M slots; keep the exact path
-        order = np.lexsort((rng.random(len(dest_idx)), dest_idx))  # repro-flow: ignore[flow-branch-rng] same one-draw-per-row budget as the packed fast path above; engines stay draw-for-draw equivalent
+        order = np.lexsort((keys, dest_idx))
     dest_idx = dest_idx[order]
-    tcode = tcode[order]
-    a, b, c = a[order], b[order], c[order]
+    tcode = pre.tcode[order]
+    a, b, c = pre.a[order], pre.b[order], pre.c[order]
 
     count = len(dest_idx)
-    positions = np.arange(count, dtype=np.int64)
+    positions = np.arange(count, dtype=np.int32)
     boundary = np.empty(count, dtype=bool)
     boundary[0] = True
     boundary[1:] = dest_idx[1:] != dest_idx[:-1]
@@ -482,19 +636,58 @@ def build_inbox(
         # relies on: within one wave (rank value) each destination slot
         # appears at most once.  Holds by construction of ``rank`` —
         # packing (rank, dest) must therefore be duplicate-free.
-        packed_wave = rank * np.int64(int(dest_idx.max()) + 1) + dest_idx
+        packed_wave = rank.astype(np.int64) * np.int64(
+            int(dest_idx.max()) + 1
+        ) + dest_idx
         assert np.unique(packed_wave).size == count, (
             "wave precondition violated: duplicate destination within a wave"
         )
-    return (
-        RoundInbox(
-            dest_idx=dest_idx,
-            tcode=tcode,
-            a=a,
-            b=b,
-            c=c,
-            rank=rank,
-            n_waves=n_waves,
-        ),
-        dropped,
+    return RoundInbox(
+        dest_idx=dest_idx,
+        tcode=tcode,
+        a=a,
+        b=b,
+        c=c,
+        rank=rank,
+        n_waves=n_waves,
     )
+
+
+def build_inbox(
+    chunks: list[list[_Chunk]],
+    lookup: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    rng: np.random.Generator,
+    *,
+    dedup: bool,
+    pool: "ArrayPool | None" = None,
+) -> tuple[RoundInbox | None, int]:
+    """Assemble the round's inbox from last round's staged chunks.
+
+    The composition :func:`prepare_inbox` → :func:`draw_delivery_keys` →
+    :func:`finalize_inbox`; the split stages exist so the sharded engine
+    can interpose the coordinator's key draw between them.
+
+    Parameters
+    ----------
+    chunks:
+        The outbox's :meth:`Outbox.take_all` result.
+    lookup:
+        Vectorized id→index resolution (``SoAState.lookup``); unresolved
+        destinations are dropped and counted (second return value), the
+        batched analogue of the reference network's drop-on-flush.
+    rng:
+        Draws the uniform delivery-ordering keys — the round's single
+        batched RNG call for delivery order.
+    dedup:
+        Coalesce identical ``(dest, type, payload)`` rows, the array
+        analogue of the reference channel's coalescing-set mode
+        (DESIGN.md §4.7); ``False`` preserves multiset semantics.
+    pool:
+        Optional :class:`~repro.sim.fast.pool.ArrayPool` recycling the
+        concatenation temporaries across rounds.
+    """
+    pre, dropped = prepare_inbox(chunks, lookup, dedup=dedup, pool=pool)
+    if pre is None:
+        return None, dropped
+    keys = draw_delivery_keys(rng, len(pre), packed_ok=pre.packed_ok)
+    return finalize_inbox(pre, keys), dropped

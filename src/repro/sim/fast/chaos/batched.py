@@ -260,6 +260,10 @@ class ChaosFastEngine(FastEngine):
         super().__init__(
             states, config, dedup=dedup, keep_history=keep_history,
             sanitize=sanitize,
+            # The fault executors draw per staged *frame*: mid-round
+            # compaction would change the frame multiset and desync the
+            # chaos mirror twin, so the wire keeps the raw staging.
+            compact_outbox=False,
         )
         self._wire_faults: list["FaultInjector"] = []
         self._wire = WireRows.empty()

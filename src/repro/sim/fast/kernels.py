@@ -146,8 +146,18 @@ class Kernels:
         id1: np.ndarray,
         id2: np.ndarray,
         rng: np.random.Generator,
+        *,
+        coins: np.ndarray | None = None,
+        forget_u: np.ndarray | None = None,
     ) -> None:
-        """Step each long-range-link token, then apply the forget coin."""
+        """Step each long-range-link token, then apply the forget coin.
+
+        *coins*/*forget_u* optionally inject the two uniform draws (both
+        sized to the post-validation batch).  The sharded coordinator uses
+        this to keep one global RNG stream: it draws for every shard's
+        batch at once and scatters the slices, so any shard count replays
+        the single-process draw sequence bit-for-bit.
+        """
         if not self.maf or len(idx) == 0:
             return
         s = self.soa
@@ -161,7 +171,8 @@ class Kernels:
         known1 = id1 != NEG_INF
         known2 = id2 != POS_INF
         both = known1 & known2
-        coins = rng.random(len(idx))
+        if coins is None:
+            coins = rng.random(len(idx))  # repro-flow: ignore[flow-branch-rng] injection seam, not a data branch: the sharded coordinator pre-draws this exact batch from the same stream position; uninjected callers draw here, one coin per validated row either way
         new_lrl = s.lrl[idx].copy()
         new_lrl[known1] = id1[known1]
         take2 = (known2 & ~known1) | (both & (coins >= 0.5))
@@ -169,7 +180,7 @@ class Kernels:
         s.lrl[idx] = new_lrl
         s.age[idx] += 1
         phi = forget_probability_array(s.age[idx], self.config.epsilon)  # repro-flow: ignore[flow-read-after-write] reads the post-increment age on purpose: the reference node ages its token before rolling the forget coin
-        forget = rng.random(len(idx)) < phi
+        forget = (rng.random(len(idx)) if forget_u is None else forget_u) < phi
         fidx = idx[forget]
         if len(fidx):
             forgotten = s.lrl[fidx].copy()  # repro-flow: ignore[flow-read-after-write] deliberately snapshots the freshly-stored lrl: forgotten tokens re-enter linearization with their updated value

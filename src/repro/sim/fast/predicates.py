@@ -30,6 +30,7 @@ from repro.ids import NEG_INF, POS_INF
 from repro.sim.fast.batched import FastEngine
 from repro.sim.fast.buffers import LIN
 from repro.sim.fast.mirror import MirrorEngine
+from repro.sim.fast.shard import ShardedEngine
 
 __all__ = [
     "FastPredicateTarget",
@@ -44,8 +45,8 @@ __all__ = [
     "PHASE_SMALL_WORLD",
 ]
 
-#: Either fast engine; both expose ``soa`` and ``inflight_pairs``.
-FastPredicateTarget = FastEngine | MirrorEngine
+#: Any fast engine; all expose ``soa`` and ``inflight_pairs``.
+FastPredicateTarget = FastEngine | MirrorEngine | ShardedEngine
 
 
 def fast_is_sorted_list(engine: FastPredicateTarget) -> bool:

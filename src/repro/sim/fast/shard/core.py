@@ -1,0 +1,348 @@
+"""One shard of the sharded engine: a ``FastEngine`` with a phased round.
+
+:class:`ShardCore` owns a contiguous id-range block of the network as a
+plain :class:`~repro.sim.fast.batched.FastEngine` (same SoA columns, same
+kernels, same sanitizer wiring) but never draws randomness itself.  The
+coordinator (:class:`~repro.sim.fast.shard.engine.ShardedEngine`) splits
+the single-process round into phases it can interleave across shards:
+
+1. :meth:`route_take` — flush the outbox and partition the staged rows by
+   owning shard (the boundary-outbox exchange payload);
+2. :meth:`prepare_round` — build the canonical pre-inbox from local +
+   received rows and report its row counts;
+3. :meth:`start_round` — apply the coordinator's delivery-key slice and
+   group the inbox into wave groups, reporting where ``reslrl`` waves sit;
+4. :meth:`reslrl_count` / :meth:`reslrl_apply` — pause-points at each
+   global ``reslrl`` wave so the coordinator can draw the move-and-forget
+   coins once, globally, and scatter the slices;
+5. :meth:`finish_round` — run the remaining groups plus the regular
+   action, and surrender the per-type send counts to the coordinator.
+
+Because every draw happens coordinator-side over globally-ordered rows,
+a sharded run replays the single-process engine's RNG stream bit-for-bit
+at any shard count (docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.sim.fast.batched import FastEngine, WaveGroup
+from repro.sim.fast.buffers import (
+    N_TYPES,
+    RESLRL,
+    PreparedInbox,
+    RoundInbox,
+    _col,
+    finalize_inbox,
+    prepare_inbox,
+)
+from repro.sim.fast.kernels import Kernels
+from repro.sim.fast.shard.partition import owner_of
+
+__all__ = ["ShardCore", "WireChunks"]
+
+#: The boundary-outbox exchange payload: per-type lists of
+#: ``(dest, a, b, c)`` row chunks (origin is dropped — nothing on the
+#: fault-free path reads it, and it halves the exchange volume).
+WireChunks = list[list[tuple[np.ndarray, ...]]]
+
+
+def _empty_wire(n_shards: int) -> list[WireChunks]:
+    return [[[] for _ in range(N_TYPES)] for _ in range(n_shards)]
+
+
+class ShardCore(FastEngine):
+    """A ``FastEngine`` over one id-range block, driven in phases."""
+
+    def __init__(
+        self,
+        states: Iterable[NodeState],
+        config: ProtocolConfig | None = None,
+        *,
+        edges: np.ndarray,
+        shard: int,
+        sanitize: bool | None = None,
+    ) -> None:
+        # Coalescing-set semantics are load-bearing: canonical content
+        # order is what lets the coordinator scatter one global key array.
+        super().__init__(states, config, dedup=True, sanitize=sanitize)
+        self.edges = np.ascontiguousarray(edges, dtype=np.float64)
+        self.shard = int(shard)
+        self._pre: PreparedInbox | None = None
+        self._round_inbox: RoundInbox | None = None
+        self._groups: list[WaveGroup] = []
+        self._cursor = 0
+        self._inject: tuple[np.ndarray, np.ndarray] | None = None
+        # Never drawn on the coordinated path (regular_action is
+        # deterministic and reslrl draws are injected); exists so the
+        # inherited dispatch plumbing keeps its signature.
+        self._local_rng = np.random.default_rng([0xD15C, self.shard])
+
+    # ------------------------------------------------------------------
+    # Phase 1 — route
+    # ------------------------------------------------------------------
+    def route_take(self, n_shards: int) -> list[WireChunks]:
+        """Flush the outbox, partitioned by owning shard.
+
+        Returns one :data:`WireChunks` per destination shard; entry
+        ``self.shard`` is the local traffic that never crosses a process
+        boundary.
+        """
+        staged = self.outbox.take_all()
+        out = _empty_wire(n_shards)
+        for code, per_type in enumerate(staged):
+            if not per_type:
+                continue
+            dest = np.concatenate([ch[0] for ch in per_type])
+            a = np.concatenate([ch[1] for ch in per_type])
+            if code == RESLRL:
+                b = np.concatenate(
+                    [_col(ch, 2, len(ch[0])) for ch in per_type]
+                )
+                c = np.concatenate(
+                    [_col(ch, 3, len(ch[0])) for ch in per_type]
+                )
+            owner = owner_of(dest, self.edges)
+            for s in range(n_shards):
+                m = owner == s
+                if not m.any():
+                    continue
+                if code == RESLRL:
+                    out[s][code].append((dest[m], a[m], b[m], c[m]))
+                else:
+                    out[s][code].append((dest[m], a[m]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Phase 2 — prepare
+    # ------------------------------------------------------------------
+    def prepare_round(
+        self, incoming: list[WireChunks]
+    ) -> tuple[int, int, int, bool]:
+        """Build the canonical pre-inbox from per-source wire chunks.
+
+        *incoming* lists every source shard's chunks for this shard, in
+        ascending source order (any deterministic order works — canonical
+        ordering is content-determined).  Returns ``(dropped, n_nonres,
+        n_res, packed_ok)`` for the coordinator's key bookkeeping.
+        """
+        merged: list[list[tuple[np.ndarray, ...]]] = [
+            [] for _ in range(N_TYPES)
+        ]
+        for source in incoming:
+            for code in range(N_TYPES):
+                for ch in source[code]:
+                    if code == RESLRL:
+                        merged[code].append(
+                            (ch[0], ch[1], ch[2], ch[3], None)
+                        )
+                    else:
+                        merged[code].append((ch[0], ch[1], None, None, None))
+        pre, dropped = prepare_inbox(
+            merged, self.soa.lookup, dedup=True, pool=self.pool
+        )
+        self._pre = pre
+        if pre is None:
+            return dropped, 0, 0, True
+        return dropped, len(pre) - pre.n_res, pre.n_res, pre.packed_ok
+
+    # ------------------------------------------------------------------
+    # Phase 3 — start dispatch
+    # ------------------------------------------------------------------
+    def start_round(self, keys: np.ndarray) -> list[int]:
+        """Finalize the inbox with the coordinator's key slice.
+
+        *keys* aligns with this shard's canonical row order (non-reslrl
+        block, then reslrl block).  Returns the wave ranks at which this
+        shard holds a ``reslrl`` group — the coordinator's pause points —
+        or ``[]`` when move-and-forget is off (no draws happen then).
+        """
+        pre, self._pre = self._pre, None
+        self._cursor = 0
+        if pre is None:
+            self._round_inbox = None
+            self._groups = []
+            return []
+        inbox = finalize_inbox(pre, keys)
+        self._round_inbox = inbox
+        self._groups = self._wave_groups(inbox)
+        if not self.kernels.maf:
+            return []
+        return [
+            int(inbox.rank[rows[0]])
+            for code, rows in self._groups
+            if code == RESLRL
+        ]
+
+    # ------------------------------------------------------------------
+    # Phase 4 — reslrl pause points
+    # ------------------------------------------------------------------
+    def reslrl_count(self, rank: int) -> tuple[bool, int]:
+        """Advance dispatch to the global ``reslrl`` wave *rank*.
+
+        Runs every group strictly before ``(rank, RESLRL)`` in canonical
+        order, then reports ``(present, n_valid)``: whether this shard has
+        that group, and how many of its rows pass the responder-validity
+        filter — the exact number of coin pairs the group will consume.
+        """
+        inbox = self._round_inbox
+        threshold = rank * 8 + RESLRL
+        while self._cursor < len(self._groups):
+            code, rows = self._groups[self._cursor]
+            assert inbox is not None
+            if int(inbox.rank[rows[0]]) * 8 + code >= threshold:
+                break
+            self._dispatch_groups(
+                inbox, [self._groups[self._cursor]], self._local_rng
+            )
+            self._cursor += 1
+        group = self._current_group()
+        if group is None or group[0] != RESLRL:
+            return False, 0
+        assert inbox is not None
+        rows = group[1]
+        if int(inbox.rank[rows[0]]) != rank:
+            return False, 0
+        idx = inbox.dest_idx[rows]
+        valid = inbox.a[rows] == self.soa.lrl[idx]
+        return True, int(valid.sum())
+
+    def reslrl_apply(
+        self, rank: int, coins: np.ndarray, forget_u: np.ndarray
+    ) -> None:
+        """Dispatch the ``reslrl`` group at *rank* with injected draws."""
+        group = self._current_group()
+        inbox = self._round_inbox
+        if (
+            group is None
+            or group[0] != RESLRL
+            or inbox is None
+            or int(inbox.rank[group[1][0]]) != rank
+        ):
+            if len(coins):
+                raise RuntimeError(
+                    f"shard {self.shard}: coordinator sent coins for a "
+                    f"reslrl wave {rank} this shard does not hold"
+                )
+            return
+        self._inject = (coins, forget_u)
+        self._dispatch_groups(inbox, [group], self._local_rng)
+        self._cursor += 1
+
+    def _current_group(self) -> WaveGroup | None:
+        if self._cursor >= len(self._groups):
+            return None
+        return self._groups[self._cursor]
+
+    def _run_kernel(
+        self,
+        code: int,
+        k: Kernels,
+        idx: np.ndarray,
+        a: np.ndarray,
+        inbox: RoundInbox,
+        rows: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if code == RESLRL and self.kernels.maf:
+            inject, self._inject = self._inject, None
+            if inject is None:
+                raise RuntimeError(
+                    f"shard {self.shard}: reslrl group dispatched without "
+                    "coordinator-injected draws"
+                )
+            coins, forget_u = inject
+            k.move_forget(
+                idx,
+                a,
+                inbox.b[rows],
+                inbox.c[rows],
+                rng,
+                coins=coins,
+                forget_u=forget_u,
+            )
+            return
+        super()._run_kernel(code, k, idx, a, inbox, rows, rng)
+
+    # ------------------------------------------------------------------
+    # Phase 5 — finish
+    # ------------------------------------------------------------------
+    def finish_round(self) -> dict[str, Any]:
+        """Run the remaining groups + regular action; report counts."""
+        inbox = self._round_inbox
+        if inbox is not None:
+            while self._cursor < len(self._groups):
+                self._dispatch_groups(
+                    inbox, [self._groups[self._cursor]], self._local_rng
+                )
+                self._cursor += 1
+        self._round_inbox = None
+        self._groups = []
+        self._run_regular(self._local_rng)
+        return {
+            "counts": self.outbox.drain_counts(),
+            "pending": self.outbox.pending_total(),
+            "n_live": self.soa.n_live,
+        }
+
+    # ------------------------------------------------------------------
+    # Membership / introspection endpoints (coordinator-invoked)
+    # ------------------------------------------------------------------
+    def has_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Which of *ids* are live on this shard."""
+        _, found = self.soa.lookup(np.ascontiguousarray(ids, np.float64))
+        return found
+
+    def add_rows(
+        self,
+        ids: np.ndarray,
+        l: np.ndarray,
+        r: np.ndarray,
+        lrl: np.ndarray,
+        ring: np.ndarray,
+        age: np.ndarray,
+    ) -> int:
+        """Append pre-validated join rows (coordinator validated globally)."""
+        self.soa.add_batch(ids, l, r, lrl, ring, age)
+        return len(ids)
+
+    def remove_and_scrub(
+        self, owned: np.ndarray, victims: np.ndarray
+    ) -> int:
+        """Apply one global departure batch to this shard.
+
+        *owned* are the victims whose rows live here (tombstoned); every
+        shard additionally drops/purges staged rows and scrubs stored
+        references against the full *victims* set (ascending, the order
+        the ``d <= m`` drop accounting is defined against).  Returns the
+        counted drops.
+        """
+        if len(owned):
+            self.soa.remove_batch(owned)
+        dropped = self.outbox.drop_and_purge_batch(victims)
+        self.soa.scrub_departed_many(victims)
+        self.soa.maybe_compact()
+        return dropped
+
+    def export_columns(self) -> tuple[np.ndarray, ...]:
+        """Live columns in ascending-id order (merged-view gather)."""
+        s = self.soa
+        _, idx = s.sorted_live()
+        return (
+            s.ids[idx],
+            s.l[idx],
+            s.r[idx],
+            s.lrl[idx],
+            s.ring[idx],
+            s.age[idx],
+        )
+
+    def export_states(self) -> list[NodeState]:
+        """Live rows as reference ``NodeState`` objects (ascending)."""
+        return self.soa.to_states()

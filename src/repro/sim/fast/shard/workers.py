@@ -1,0 +1,134 @@
+"""The multiprocessing backend for the sharded engine.
+
+Each worker process hosts one or more :class:`ShardCore` instances for
+the engine's lifetime (spawn context — no fork-inherited RNG or numpy
+state) and serves coordinator RPCs over a pipe.  The protocol is one
+batched request per phase: ``(calls,)`` where ``calls`` is a list of
+``(local_core_index, method_name, args)`` triples, answered by a list of
+results in call order — so a round costs a fixed number of round-trips
+per worker regardless of shard count.
+
+Worker-side exceptions are caught, stringified and re-raised
+coordinator-side as :class:`ShardWorkerError`; the worker survives and
+keeps serving (the engine is left in an undefined round state, like any
+engine whose ``execute_round`` raised).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import Any
+
+import numpy as np
+
+from repro.core.protocol import ProtocolConfig
+from repro.core.state import NodeState
+from repro.sim.fast.shard.core import ShardCore
+
+__all__ = ["ShardWorkerError", "WorkerHandle", "spawn_workers"]
+
+_CTX = mp.get_context("spawn")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the worker-side traceback summary."""
+
+
+def _worker_main(
+    conn: Connection,
+    shard_states: list[list[NodeState]],
+    config: ProtocolConfig,
+    edges: np.ndarray,
+    shard_indices: list[int],
+    sanitize: bool | None,
+) -> None:  # pragma: no cover - runs in the child process
+    cores = [
+        ShardCore(
+            states, config, edges=edges, shard=shard, sanitize=sanitize
+        )
+        for states, shard in zip(shard_states, shard_indices)
+    ]
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            return
+        if request is None:
+            conn.close()
+            return
+        results: list[Any] = []
+        error: str | None = None
+        for local_i, method, args in request:
+            try:
+                results.append(getattr(cores[local_i], method)(*args))
+            except BaseException as exc:  # repro-lint: ignore[broad-except] process boundary: every worker-side failure must be shipped back to the coordinator, which re-raises it
+                error = f"{type(exc).__name__}: {exc}"
+                break
+        conn.send((error, results))
+
+
+class WorkerHandle:
+    """One worker process plus its coordinator-side pipe end."""
+
+    def __init__(
+        self, process: mp.process.BaseProcess, conn: Connection, shards: list[int]
+    ) -> None:
+        self.process = process
+        self.conn = conn
+        self.shards = shards
+
+    def request(self, calls: list[tuple[int, str, tuple]]) -> None:
+        self.conn.send(calls)
+
+    def collect(self) -> list[Any]:
+        error, results = self.conn.recv()
+        if error is not None:
+            raise ShardWorkerError(
+                f"shard worker {self.shards} failed: {error}"
+            )
+        return results
+
+    def close(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):  # repro-lint: ignore[silent-except] shutdown path: a worker that already exited has closed its pipe end, which is exactly the state close() wants
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+        self.conn.close()
+
+
+def spawn_workers(
+    parts: list[list[NodeState]],
+    config: ProtocolConfig,
+    edges: np.ndarray,
+    workers: int,
+    sanitize: bool | None,
+) -> list[WorkerHandle]:
+    """Start *workers* processes, shards distributed contiguously."""
+    n_shards = len(parts)
+    workers = max(1, min(workers, n_shards))
+    handles: list[WorkerHandle] = []
+    for w in range(workers):
+        lo = (w * n_shards) // workers
+        hi = ((w + 1) * n_shards) // workers
+        indices = list(range(lo, hi))
+        parent, child = _CTX.Pipe()
+        process = _CTX.Process(
+            target=_worker_main,
+            args=(
+                child,
+                [parts[i] for i in indices],
+                config,
+                edges,
+                indices,
+                sanitize,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        handles.append(WorkerHandle(process, parent, indices))
+    return handles

@@ -317,18 +317,18 @@ def test_registry_is_consistent():
 
 
 # ----------------------------------------------------------------------
-# scalar-loop-over-soa (advisory; path-gated to repro/sim/fast)
+# scalar-loop-over-soa (error since the sharding PR; path-gated to
+# repro/sim/fast — every deliberate scalar site carries its pragma)
 # ----------------------------------------------------------------------
 def test_scalar_loop_over_soa_fires_under_fast_path():
     source = (FIXTURES / "bad_scalar_loop.py").read_text(encoding="utf-8")
     findings = lint_source("src/repro/sim/fast/snippet.py", source)
     assert fired(findings) == {"scalar-loop-over-soa"}
     (finding,) = findings  # one finding per loop; the vectorized twin is clean
-    assert finding.severity is Severity.WARNING
+    assert finding.severity is Severity.ERROR
     assert finding.line == 9
     assert "slow_export" in finding.message
-    assert exit_code(findings) == 0  # advisory …
-    assert exit_code(findings, strict=True) == 1  # … until the ratchet
+    assert exit_code(findings) == 1  # the ratchet landed: errors gate CI
 
 
 def test_scalar_loop_over_soa_is_path_gated():

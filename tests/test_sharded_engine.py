@@ -1,0 +1,216 @@
+"""Unit tests for the sharded SoA engine (docs/PERF.md "Sharding").
+
+The bit-identity trajectory tests live in the conformance matrix
+(tests/test_engine_conformance.py) and the hypothesis sweep
+(tests/test_property_sharded.py); this module pins the facade itself —
+construction validation, the membership contract, the merged column
+view, the worker backend, and lifecycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ProtocolConfig
+from repro.sim.fast.batched import FastEngine
+from repro.sim.fast.shard import ShardedEngine, owner_of, partition_edges
+from repro.sim.trace import Trace
+from repro.topology.generators import TOPOLOGIES
+
+
+def _states(n: int, seed: int = 5, topo: str = "line"):
+    return sorted(
+        TOPOLOGIES[topo](n, np.random.default_rng(seed)), key=lambda s: s.id
+    )
+
+
+def _pair(n: int, *, shards: int, seed: int = 5):
+    states = _states(n, seed)
+    fast = FastEngine(states, ProtocolConfig(), dedup=True)
+    sharded = ShardedEngine(states, ProtocolConfig(), shards=shards)
+    return fast, sharded
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_requires_dedup():
+    with pytest.raises(ValueError, match="dedup=True"):
+        ShardedEngine(_states(8), dedup=False)
+
+
+def test_rejects_trace():
+    cfg = ProtocolConfig(trace=Trace())
+    with pytest.raises(ValueError, match="tracing"):
+        ShardedEngine(_states(8), cfg)
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError, match="at least one node"):
+        ShardedEngine([])
+
+
+def test_shards_clamped_to_population():
+    engine = ShardedEngine(_states(3), shards=8)
+    assert engine.shards == 3
+    assert len(engine) == 3
+
+
+def test_partition_covers_every_id():
+    states = _states(64, seed=9)
+    ids = np.array([s.id for s in states])
+    edges = partition_edges(ids, 4)
+    owner = owner_of(ids, edges)
+    assert owner.min() == 0 and owner.max() == 3
+    # Contiguity: owners are non-decreasing over the sorted id axis.
+    assert bool((np.diff(owner) >= 0).all())
+    counts = np.bincount(owner, minlength=4)
+    assert counts.sum() == 64 and counts.min() >= 64 // 4 - 1
+
+
+# ----------------------------------------------------------------------
+# Membership contract (FastEngine parity)
+# ----------------------------------------------------------------------
+def test_join_validation():
+    engine = ShardedEngine(_states(8), shards=2)
+    contact = engine.ids[0]
+    with pytest.raises(ValueError, match=r"\[0, 1\)"):
+        engine.join(1.5, contact)
+    with pytest.raises(ValueError, match="already in the network"):
+        engine.join(contact, engine.ids[1])
+    with pytest.raises(ValueError, match="not in the network"):
+        engine.join(0.123456, 0.654321)
+    with pytest.raises(ValueError, match="duplicate joining id"):
+        engine.join_batch(
+            np.array([0.25, 0.25]), np.array([contact, contact])
+        )
+    with pytest.raises(ValueError, match="must align"):
+        engine.join_batch(np.array([0.25]), np.array([contact, contact]))
+    assert len(engine) == 8  # every rejected batch left the network alone
+
+
+def test_leave_validation():
+    engine = ShardedEngine(_states(8), shards=2)
+    with pytest.raises(KeyError, match="no node with id"):
+        engine.leave(0.987654)
+    victim = engine.ids[3]
+    with pytest.raises(KeyError, match="duplicate departing id"):
+        engine.leave_batch(np.array([victim, victim]))
+    assert len(engine) == 8
+    assert engine.leave_batch(np.array([victim])) == 1
+    assert len(engine) == 7
+    assert victim not in engine
+
+
+def test_leave_preserves_fast_alignment():
+    """Departures keep slot order aligned, so the trajectories stay
+    bit-identical straight through the churn op."""
+    fast, sharded = _pair(96, shards=3, seed=31)
+    r1, r2 = np.random.default_rng(7), np.random.default_rng(7)
+    for _ in range(6):
+        fast.execute_round(r1)
+        sharded.execute_round(r2)
+    victims = np.array(sorted(fast.soa.sorted_live()[0][10:40:7]))
+    fast.leave_batch(victims.copy())
+    sharded.leave_batch(victims.copy())
+    for _ in range(6):
+        fast.execute_round(r1)
+        sharded.execute_round(r2)
+    assert fast.state_snapshot() == sharded.state_snapshot()
+    assert fast.stats.totals_by_type == sharded.stats.totals_by_type
+
+
+def test_join_matches_fast_at_op_boundary():
+    """Joins break slot alignment (append order differs), so equality is
+    asserted at the operation boundary, not over later rounds."""
+    fast, sharded = _pair(64, shards=2, seed=13)
+    contact = fast.soa.sorted_live()[0][0]
+    new_ids = np.array([0.111111, 0.555555, 0.999999])
+    contacts = np.full(3, contact)
+    assert fast.join_batch(new_ids.copy(), contacts.copy()) == 3
+    assert sharded.join_batch(new_ids.copy(), contacts.copy()) == 3
+    assert fast.state_snapshot() == sharded.state_snapshot()
+    assert len(sharded) == 67
+
+
+# ----------------------------------------------------------------------
+# Merged column view
+# ----------------------------------------------------------------------
+def test_merged_view_columns():
+    engine = ShardedEngine(_states(32, seed=3), shards=4)
+    view = engine.soa
+    ids, idx = view.sorted_live()
+    assert bool((np.diff(ids) > 0).all())
+    assert list(idx) == list(range(32))
+    pos, found = view.lookup(np.array([ids[5], 0.5 * (ids[5] + ids[6])]))
+    assert bool(found[0]) and not bool(found[1])
+    assert pos[0] == 5
+    assert ids[8] in view and 2.0 not in view
+    assert len(view) == 32 == view.n_live
+
+
+def test_merged_view_exports_match_snapshot():
+    engine = ShardedEngine(_states(24, seed=4), shards=3)
+    engine.execute_round(np.random.default_rng(1))
+    view = engine.soa
+    assert view.snapshot() == engine.state_snapshot()
+    states = view.to_states()
+    assert [s.id for s in states] == engine.ids
+    rebuilt = ShardedEngine(states, ProtocolConfig(), shards=3)
+    assert rebuilt.state_snapshot() == engine.state_snapshot()
+
+
+def test_view_invalidated_by_round_and_churn():
+    engine = ShardedEngine(_states(16, seed=6), shards=2)
+    before = engine.soa
+    engine.execute_round(np.random.default_rng(2))
+    after_round = engine.soa
+    assert after_round is not before
+    engine.leave(engine.ids[0])
+    assert engine.soa is not after_round
+    assert len(engine.soa) == 15
+
+
+# ----------------------------------------------------------------------
+# Worker backend + lifecycle
+# ----------------------------------------------------------------------
+def test_worker_backend_matches_inline():
+    """Spawned workers replay the inline trajectory exactly (the backend
+    only moves the cores; every draw stays on the coordinator)."""
+    states = _states(48, seed=17)
+    inline = ShardedEngine(states, ProtocolConfig(), shards=2, workers=0)
+    with ShardedEngine(states, ProtocolConfig(), shards=2, workers=2) as spawned:
+        assert spawned.workers == 2
+        r1, r2 = np.random.default_rng(3), np.random.default_rng(3)
+        for _ in range(8):
+            inline.execute_round(r1)
+            spawned.execute_round(r2)
+        assert inline.state_snapshot() == spawned.state_snapshot()
+        assert inline.stats.totals_by_type == spawned.stats.totals_by_type
+        assert inline.pending_total() == spawned.pending_total()
+
+
+def test_workers_clamped_to_shards():
+    with ShardedEngine(_states(12), shards=2, workers=9) as engine:
+        assert engine.workers == 2
+        engine.execute_round(np.random.default_rng(0))
+        assert len(engine) == 12
+
+
+def test_set_wave_fault_unsupported():
+    engine = ShardedEngine(_states(8), shards=2)
+    with pytest.raises(NotImplementedError, match="wave-dispatch"):
+        engine.set_wave_fault(object())
+
+
+def test_close_idempotent():
+    engine = ShardedEngine(_states(8), shards=2)
+    engine.close()
+    engine.close()  # second close must be a no-op, not an error
+
+
+def test_repr_mentions_backend():
+    engine = ShardedEngine(_states(8), shards=2)
+    assert "inline" in repr(engine)
+    assert "shards=2" in repr(engine)
