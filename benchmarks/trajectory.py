@@ -4,7 +4,7 @@ The repo root accumulates append-only benchmark trajectories
 (``BENCH_e22_scale.json``, ``BENCH_churn_scale.json``, ...): one entry per
 recorded run, so perf numbers have a history.  This script
 
-1. folds every trajectory file into a single ``repro.obs/manifest/v1``
+1. folds every trajectory file into a single ``repro.obs/manifest/v2``
    manifest (gauge ``bench_trajectory``, one sample per bench series and
    tracked metric — the same schema ``repro obs validate`` checks and
    ``repro obs diff`` consumes), and
@@ -51,7 +51,11 @@ GATED: dict[str, tuple[str, float]] = {
     "chaos_speedup": ("higher", 0.50),
     "fast_ratio": ("lower", 0.25),
     "ref_ratio": ("lower", 0.25),
+    "sharded_ratio": ("lower", 0.25),
     "overhead_ratio": ("lower", 0.35),
+    # Round-phase attribution (BENCH_shard_phases.json): the profiler
+    # must keep explaining the sharded wall clock, not drift blind.
+    "attribution": ("higher", 0.05),
 }
 
 #: Recorded (manifest-only) metrics: wall clocks and memory move with the
@@ -69,9 +73,22 @@ RECORDED = (
     "fast_hooked_seconds",
     "ref_bare_seconds",
     "ref_hooked_seconds",
+    "sharded_bare_seconds",
+    "sharded_hooked_seconds",
     "extra_messages",
     "overhead_frames",
     "abandoned",
+    # Round-phase decomposition of the sharded wall clock
+    # (benchmarks/shard_phases.py; ``repro obs phases`` reads the same
+    # registry metrics out of a live run's manifest).
+    "wall_s",
+    "attributed_s",
+    "dispatch_s",
+    "kernel_s",
+    "exchange_s",
+    "flush_s",
+    "merge_s",
+    "rng_s",
 )
 
 #: Row fields that identify a series within one bench trajectory.
@@ -159,7 +176,7 @@ def build_manifest(
     files: Sequence[str],
     failures: list[dict[str, Any]],
 ) -> dict[str, Any]:
-    """One ``repro.obs/manifest/v1`` manifest over the latest entries."""
+    """One ``repro.obs/manifest/v2`` manifest over the latest entries."""
     samples = [
         {
             "labels": {**dict(labels), "metric": metric},
@@ -197,6 +214,7 @@ def build_manifest(
         },
         "phases": {},
         "peak_rss_bytes": None,
+        "live": None,
         "result": {
             "series": len(series),
             "regressions": len(failures),

@@ -10,7 +10,10 @@ Four rule families (ISSUE 1):
 4. **self-stabilization hygiene** — ``bare-except``, ``broad-except``,
    ``silent-except``, ``mutable-default``;
 5. **SoA performance discipline** — ``scalar-loop-over-soa`` (promoted
-   from advisory once every deliberate scalar site carried its pragma).
+   from advisory once every deliberate scalar site carried its pragma);
+6. **observability discipline** — ``obs-blocking-in-wave`` (advisory:
+   blocking I/O inside the fast engine's kernel/wave-dispatch path;
+   ``shard/workers.py``, the pipe transport, is exempt).
 
 ``ALL_RULES`` instantiates one of each; ``RULES_BY_ID`` indexes them for
 the CLI's ``--select``/``--ignore`` filters and the pragma machinery.
@@ -25,6 +28,7 @@ from repro.analysis.lint.rules.hygiene import (
     MutableDefaultRule,
     SilentExceptRule,
 )
+from repro.analysis.lint.rules.obs import ObsBlockingInWaveRule
 from repro.analysis.lint.rules.perf import ScalarLoopOverSoaRule
 from repro.analysis.lint.rules.protocol import (
     DispatchCompleteRule,
@@ -54,6 +58,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SilentExceptRule(),
     MutableDefaultRule(),
     ScalarLoopOverSoaRule(),
+    ObsBlockingInWaveRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -7,7 +7,10 @@ Examples::
     repro run e05 sizes=256,512,1024 queries=500
     repro run all quick=1
     repro run e18 obs=runs/e18        # instrumented: telemetry into runs/e18
+    repro run e22 engine=sharded obs=runs/e22 live=:9099
+                                      # + live /metrics + /health endpoint
     repro obs summarize runs/e18      # inspect the artifacts afterwards
+    repro obs phases runs/e22         # round-phase wall-clock attribution
 
 Parameter values are parsed as Python literals where possible (ints,
 floats, tuples via comma lists), so every driver keyword can be set from
@@ -88,13 +91,16 @@ def _run_one(experiment_id: str, params: dict[str, object]) -> None:
     params = dict(params)  # never mutate the caller's dict (run-all shares it)
     out = params.pop("out", None)
     obs_dir = params.pop("obs", None)
+    live = params.pop("live", None)
+    if live is not None and obs_dir is None:
+        raise SystemExit("live= requires obs=DIR (the endpoint serves the run's observer)")
     spec = get_experiment(experiment_id)
     start = time.perf_counter()
     if obs_dir is not None:
         from repro.obs.harness import instrumented_run
 
         result = instrumented_run(
-            spec.run, params, str(obs_dir), experiment=spec.id
+            spec.run, params, str(obs_dir), experiment=spec.id, live=live
         )
     else:
         result = spec.run(**params)

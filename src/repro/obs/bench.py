@@ -2,7 +2,7 @@
 
 ``pytest --benchmark-json=out.json`` archives raw timing distributions in
 pytest-benchmark's own schema.  This module re-expresses such a file as a
-standard ``repro.obs/manifest/v1`` manifest (:mod:`repro.obs.manifest`),
+standard ``repro.obs/manifest/v2`` manifest (:mod:`repro.obs.manifest`),
 so benchmark archives live in the same validated format as experiment
 runs — one ``repro obs validate`` pass covers both, and downstream
 tooling reads one shape.
@@ -83,7 +83,7 @@ def _counter_samples(
 def manifest_from_benchmark_json(
     data: dict[str, Any], *, experiment: str = "benchmarks"
 ) -> dict[str, Any]:
-    """Build a ``repro.obs/manifest/v1`` dict from a loaded
+    """Build a ``repro.obs/manifest/v2`` dict from a loaded
     ``--benchmark-json`` document.
 
     The result is guaranteed to satisfy
@@ -145,6 +145,7 @@ def manifest_from_benchmark_json(
         "metrics": metrics,
         "phases": {},
         "peak_rss_bytes": None,
+        "live": None,
         "result": {
             "benchmarks": len(benchmarks),
             "groups": groups,

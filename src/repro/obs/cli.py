@@ -8,10 +8,13 @@ stack.
 * ``repro obs summarize DIR|metrics.jsonl`` — round counts, per-type
   message totals, per-phase/kernel timing, peak RSS;
 * ``repro obs tail FILE [-n N] [--follow]`` — last events of a live or
-  finished stream (the JSONL exporter flushes per event, and
-  ``RunRecorder`` flushes per snapshot, so in-progress runs tail cleanly);
+  finished stream; ``--follow`` polls for appended events, waits for the
+  stream file to appear, and buffers partially written lines, so it can
+  be pointed at a run *before* the run starts;
 * ``repro obs validate DIR`` — manifest schema + stream well-formedness
-  (the ``obs-smoke`` CI gate);
+  + Prometheus text exposition structure (the ``obs-smoke`` CI gate);
+* ``repro obs phases DIR`` — round-phase wall-clock attribution
+  (:mod:`repro.obs.phases`), with a ``--min-attribution`` gate;
 * ``repro obs diff A B`` — per-metric / per-kernel deltas between two run
   manifests, with optional regression thresholds
   (:mod:`repro.obs.diff`).
@@ -180,20 +183,37 @@ def _format_event(event: dict[str, object]) -> str:
 
 def _cmd_tail(args: argparse.Namespace) -> int:
     path = _stream_path(args.target)
+    deadline = time.monotonic() + args.timeout if args.timeout > 0 else None
     if not os.path.exists(path):
-        print(f"no stream at {path}", file=sys.stderr)
-        return 2
+        if not args.follow:
+            print(f"no stream at {path}", file=sys.stderr)
+            return 2
+        # Follow mode may be pointed at a run that hasn't started yet:
+        # poll until the stream file appears (or the timeout passes).
+        while not os.path.exists(path):
+            if deadline is not None and time.monotonic() >= deadline:
+                print(f"no stream at {path}", file=sys.stderr)
+                return 2
+            time.sleep(args.interval)
     with open(path, encoding="utf-8") as handle:
-        events = list(read_events(handle))
+        # A live writer may be mid-line: split off any incomplete tail
+        # into the follow buffer instead of feeding it to json.loads.
+        content = handle.read()
+        buffer = ""
+        if content and not content.endswith("\n"):
+            head, _, buffer = content.rpartition("\n")
+            content = head + "\n" if head else ""
+        events = list(read_events(content.splitlines()))
         for event in events[-args.lines :]:
             print(_format_event(event))
         if args.follow:
-            deadline = (
-                time.monotonic() + args.timeout if args.timeout > 0 else None
-            )
             while deadline is None or time.monotonic() < deadline:
-                line = handle.readline()
-                if line:
+                chunk = handle.readline()
+                if chunk:
+                    buffer += chunk
+                    if not buffer.endswith("\n"):
+                        continue  # partial line; wait for the rest
+                    line, buffer = buffer, ""
                     if line.strip():
                         print(_format_event(json.loads(line)))
                     continue
@@ -248,6 +268,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             problems.append("metrics.jsonl: no events")
         if not saw_summary:
             problems.append("metrics.jsonl: no final summary event (run truncated?)")
+    prom_path = os.path.join(args.directory, "metrics.prom")
+    if os.path.exists(prom_path):
+        from repro.obs.exporters import validate_prometheus_text
+
+        with open(prom_path, encoding="utf-8") as handle:
+            problems.extend(
+                f"metrics.prom: {p}"
+                for p in validate_prometheus_text(handle.read())
+            )
+    live_path = os.path.join(args.directory, "live.json")
+    if os.path.exists(live_path):
+        with open(live_path, encoding="utf-8") as handle:
+            try:
+                live = json.load(handle)
+            except json.JSONDecodeError as exc:
+                live = None
+                problems.append(f"live.json is not valid JSON: {exc}")
+        if live is not None and (
+            not isinstance(live, dict) or not isinstance(live.get("address"), str)
+        ):
+            problems.append("live.json: missing 'address' string")
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
@@ -255,6 +296,45 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return 1
     print(f"obs validate: {args.directory} OK")
     return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.obs.phases import (
+        load_run_manifest,
+        phase_report,
+        render_phase_report,
+    )
+
+    try:
+        manifest = load_run_manifest(args.target)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+    report = phase_report(manifest)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_phase_report(report))
+    if args.min_attribution <= 0:
+        return 0
+    engines_body = report.get("engines")
+    assert isinstance(engines_body, dict)
+    targets = [args.engine] if args.engine else sorted(engines_body)
+    failures: list[str] = []
+    for engine in targets:
+        body = engines_body.get(engine)
+        if not isinstance(body, dict):
+            failures.append(f"{engine}: no phase data recorded")
+            continue
+        fraction = body.get("attribution")
+        if not isinstance(fraction, (int, float)) or fraction < args.min_attribution:
+            got = f"{fraction:.3f}" if isinstance(fraction, (int, float)) else "n/a"
+            failures.append(
+                f"{engine}: attribution {got} below {args.min_attribution}"
+            )
+    for failure in failures:
+        print(f"obs phases: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
@@ -289,6 +369,26 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
     p_val = sub.add_parser("validate", help="validate manifest + stream schema")
     p_val.add_argument("directory", help="obs directory to validate")
     p_val.set_defaults(obs_func=_cmd_validate)
+
+    p_ph = sub.add_parser(
+        "phases", help="round-phase wall-clock attribution report"
+    )
+    p_ph.add_argument("target", help="obs directory or manifest.json path")
+    p_ph.add_argument(
+        "--engine",
+        default="",
+        help="gate only this engine kind (default: every recorded engine)",
+    )
+    p_ph.add_argument(
+        "--min-attribution",
+        type=float,
+        default=0.0,
+        help="fail unless attributed/wall reaches this fraction (e.g. 0.95)",
+    )
+    p_ph.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_ph.set_defaults(obs_func=_cmd_phases)
 
     from repro.obs.diff import add_diff_parser
 

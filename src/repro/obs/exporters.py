@@ -19,6 +19,7 @@ pinned by ``tests/test_obs_nonperturbation.py``).
 from __future__ import annotations
 
 import json
+import re
 from typing import IO, TYPE_CHECKING
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -26,7 +27,13 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
 
-__all__ = ["Exporter", "JsonlExporter", "PrometheusExporter", "prometheus_text"]
+__all__ = [
+    "Exporter",
+    "JsonlExporter",
+    "PrometheusExporter",
+    "prometheus_text",
+    "validate_prometheus_text",
+]
 
 #: Metric-name prefix used in the Prometheus exposition.
 PROM_PREFIX = "repro_"
@@ -92,15 +99,27 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
-    """Render a ``{k="v",...}`` label block ('' when empty)."""
+    """Render a ``{k="v",...}`` label block ('' when empty).
+
+    Keys are emitted in sorted order — deterministic output is part of the
+    golden-file contract — and values are escaped per the text-format
+    rules (backslash, double quote, newline).
+    """
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
     body = ",".join(
-        f'{k}="{v}"' for k, v in sorted(merged.items())
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
     )
     return "{" + body + "}"
 
@@ -139,3 +158,97 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(total)}")
                 lines.append(f"{name}_count{_fmt_labels(labels)} {count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: ``metric_name{labels} value`` — the sample shape the validator checks.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"(?:,|$)'
+)
+
+
+def _check_label_block(block: str) -> str | None:
+    """Validate one ``{k="v",...}`` block; return a problem or ``None``."""
+    body = block[1:-1]
+    pos = 0
+    keys: list[str] = []
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            return f"malformed label pair at {body[pos:pos + 24]!r}"
+        keys.append(match.group(1))
+        pos = match.end()
+    if keys != sorted(keys):
+        return f"label keys not in sorted order: {keys}"
+    return None
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Structurally validate a text exposition; return a list of problems.
+
+    Checks the shape ``repro obs validate`` enforces on ``metrics.prom``:
+    every non-comment line parses as ``name{labels} value``, label values
+    are correctly quoted/escaped and keys deterministically ordered,
+    ``# TYPE`` precedes its metric's samples, histogram bucket counts are
+    cumulative, and every sample value parses as a float.
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    buckets: dict[str, int] = {}
+
+    def flush_bucket_run() -> None:
+        buckets.clear()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "untyped"
+            ):
+                problems.append(f"line {lineno}: malformed TYPE comment")
+            else:
+                typed[parts[2]] = parts[3]
+            flush_bucket_run()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line[:60]!r}")
+            continue
+        name, labels, value = match.group("name", "labels", "value")
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value {value!r}")
+        if labels:
+            problem = _check_label_block(labels)
+            if problem is not None:
+                problems.append(f"line {lineno}: {problem}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+        if name.endswith("_bucket") and base in typed:
+            series = name + (labels or "").rsplit('le="', 1)[0]
+            count = int(float(value))
+            if count < buckets.get(series, 0):
+                problems.append(
+                    f"line {lineno}: histogram buckets of {base!r} are "
+                    "not cumulative"
+                )
+            buckets[series] = count
+        elif buckets:
+            flush_bucket_run()
+    return problems

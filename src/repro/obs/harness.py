@@ -9,6 +9,9 @@ per-run artifact set inside *DIR* —
 * ``metrics.prom``  — Prometheus text exposition of the final registry;
 * ``manifest.json`` — the schema-validated run manifest;
 
+optionally starts the live scrape endpoint (``live=:PORT`` →
+:class:`~repro.obs.live.LiveServer`, with the bound address recorded in
+``DIR/live.json`` so ``live=:0`` ephemeral ports stay discoverable),
 activates it ambiently (:mod:`repro.obs.runtime`), runs the driver, and
 finalizes with the driver's :class:`~repro.experiments.common
 .ExperimentResult` folded in as the manifest's ``result`` block.  Every
@@ -19,6 +22,7 @@ same pipeline regardless of driver or engine.
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Callable
 from typing import TYPE_CHECKING
@@ -43,6 +47,7 @@ def run_observer(
     experiment: str = "",
     params: dict[str, object] | None = None,
     round_events: bool = True,
+    live: object | None = None,
 ) -> Observer:
     """Create *out_dir* and an observer writing the standard artifacts.
 
@@ -50,6 +55,10 @@ def run_observer(
     :func:`~repro.obs.runtime.activated` and call
     :meth:`~repro.obs.observer.Observer.close` when done (the JSONL
     stream's file handle is held open for live flushing until then).
+
+    *live* (a ``:PORT`` / ``HOST:PORT`` spec) additionally starts the
+    background scrape endpoint and writes its bound address to
+    ``DIR/live.json``; the observer's ``close`` stops the server.
     """
     os.makedirs(out_dir, exist_ok=True)
     stream = open(  # noqa: SIM115 - lifetime is the whole run, closed by close()
@@ -66,6 +75,20 @@ def run_observer(
         ),
         round_events=round_events,
     )
+    if live is not None:
+        from repro.obs.live import LiveServer
+
+        server = LiveServer(observer, live).start()
+        observer.live_server = server
+        observer.live_status = server.status
+        with open(
+            os.path.join(out_dir, "live.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(
+                {"address": server.address, "url": server.url}, handle
+            )
+            handle.write("\n")
+        observer.event("live", address=server.address)
     observer.event(
         "start",
         schema="repro.obs/events/v1",
@@ -81,15 +104,18 @@ def instrumented_run(
     out_dir: str,
     *,
     experiment: str = "",
+    live: object | None = None,
 ) -> "ExperimentResult":
     """Run one experiment driver under a fully wired observer.
 
     Writes the :data:`ARTIFACTS` set into *out_dir*; the manifest's
     ``params`` come from the driver's own :class:`ExperimentResult`
     (the complete parameter dict, seed included), not just the overrides
-    the caller happened to pass.
+    the caller happened to pass.  *live* forwards to :func:`run_observer`.
     """
-    observer = run_observer(out_dir, experiment=experiment, params=params)
+    observer = run_observer(
+        out_dir, experiment=experiment, params=params, live=live
+    )
     try:
         with activated(observer):
             with observer.tracer.span("experiment", experiment=experiment):

@@ -80,6 +80,12 @@ class Observer:
         self.started_unix = time.time()
         #: Result summary installed by the harness before finalize.
         self.result_summary: dict[str, object] | None = None
+        #: Live-endpoint wiring (installed by the harness when ``live=``
+        #: is requested): the background server, the wave-loop-published
+        #: status object, and the manifest's ``live`` block.
+        self.live_server: Any = None
+        self.live_status: Any = None
+        self.live_summary: dict[str, object] | None = None
         self._sim_count = 0
         self._campaign_count = 0
         self._finalized = False
@@ -134,17 +140,27 @@ class Observer:
                 scheduler.profiler = self.profiler_for(kind)
         elif hasattr(sim, "engine"):
             engine = sim.engine
-            kind = (
-                "mirror"
-                if type(engine).__name__.endswith("MirrorEngine")
-                else "fast"
-            )
-            if hasattr(engine, "profiler"):
+            if hasattr(engine, "shard_sink"):
+                # The sharded coordinator: give it the phase profiler plus
+                # a ShardTelemetrySink so per-worker deltas piggybacked on
+                # finish_round land in the registry under shard= labels.
+                kind = "sharded"
+                from repro.obs.shard import ShardTelemetrySink
+
                 engine.profiler = self.profiler_for(kind)
+                engine.shard_sink = ShardTelemetrySink(self.registry)
+            else:
+                kind = (
+                    "mirror"
+                    if type(engine).__name__.endswith("MirrorEngine")
+                    else "fast"
+                )
+                if hasattr(engine, "profiler"):
+                    engine.profiler = self.profiler_for(kind)
         index = self._sim_count
         self._sim_count += 1
         self.event("attach", sim=index, engine=kind)
-        return SimHandle(self, index, kind)
+        return SimHandle(self, index, kind, sim)
 
     def attach_campaign(self, campaign: Any) -> "CampaignHandle":
         """Hook a chaos campaign in; returns its event handle."""
@@ -165,6 +181,9 @@ class Observer:
             return self._summary
         if result is not None:
             self.result_summary = result
+        if self.live_server is not None:
+            # Freeze the live block before the manifest exporter reads it.
+            self.live_summary = self.live_server.summary()
         rss = peak_rss_bytes()
         if rss is not None:
             self.registry.gauge(
@@ -188,8 +207,11 @@ class Observer:
         return self._summary
 
     def close(self) -> None:
-        """Finalize (if needed) and release exporter file handles."""
+        """Finalize (if needed), stop the live server, release handles."""
         self.finalize()
+        server, self.live_server = self.live_server, None
+        if server is not None:
+            server.stop()
         for exporter in self.exporters:
             exporter.close()
 
@@ -203,14 +225,18 @@ class SimHandle:
     """
 
     __slots__ = (
-        "obs", "index", "engine",
+        "obs", "index", "engine", "sim",
         "_messages", "_rounds", "_round_seconds", "_pending", "_rss",
     )
 
-    def __init__(self, obs: Observer, index: int, engine: str) -> None:
+    def __init__(
+        self, obs: Observer, index: int, engine: str, sim: Any = None
+    ) -> None:
         self.obs = obs
         self.index = index
         self.engine = engine
+        #: The attached simulator — read-only, for the live-status probes.
+        self.sim = sim
         registry = obs.registry
         self._messages = registry.counter(
             "messages_total", "protocol messages sent, by type and engine"
@@ -247,6 +273,9 @@ class SimHandle:
         self._rounds.inc(1, engine=engine)
         self._round_seconds.observe(dt, engine=engine)
         self._pending.set(pending, engine=engine, sim=self.index)
+        live = obs.live_status
+        if live is not None:
+            live.round_end(round_index, n, pending, self.sim)
         if obs.rss_every and round_index % obs.rss_every == 0:
             rss = peak_rss_bytes()
             if rss is not None:

@@ -34,7 +34,7 @@ storms compose unchanged — they drive the membership surface.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -149,10 +149,6 @@ class _InlineBackend:
             for core, args in zip(self.cores, argses)
         ]
 
-    def set_profiler(self, profiler: "PhaseProfiler | None") -> None:
-        for core in self.cores:
-            core.profiler = profiler
-
     def close(self) -> None:
         pass
 
@@ -177,11 +173,6 @@ class _ProcessBackend:
             for shard, result in zip(handle.shards, handle.collect()):
                 results[shard] = result
         return results
-
-    def set_profiler(self, profiler: "PhaseProfiler | None") -> None:
-        # Kernel-level timings stay worker-side; the coordinator still
-        # records the phase totals it can observe (flush/exchange).
-        del profiler
 
     def close(self) -> None:
         for handle in self.handles:
@@ -252,6 +243,7 @@ class ShardedEngine:
             )
         self._maf = cfg.move_and_forget
         self._profiler: PhaseProfiler | None = None
+        self._shard_sink: Any = None
         self._view: MergedSoAView | None = None
         self._n_live = len(ordered)
         self._pending = 0
@@ -260,6 +252,28 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
+    def _phase_marker(self) -> "Callable[[str], None] | None":
+        """Segment timer for the round-phase attribution profiler.
+
+        Returns ``None`` on the untimed path; otherwise a closure that
+        attributes the wall-clock since the previous mark to the named
+        phase.  Marks are placed so the segments *partition* the whole of
+        ``execute_round`` — ``repro obs phases`` checks that the sum
+        accounts for ≥ 95% of the measured round time.
+        """
+        profiler = self._profiler
+        if profiler is None:
+            return None
+        t_last = time.perf_counter()
+
+        def mark(phase: str) -> None:
+            nonlocal t_last
+            now = time.perf_counter()
+            profiler.add(phase, now - t_last)
+            t_last = now
+
+        return mark
+
     def execute_round(self, rng: np.random.Generator) -> None:
         """Advance the network by one synchronous round.
 
@@ -267,12 +281,20 @@ class ShardedEngine:
         array over the global canonical inbox order, then per global
         ``reslrl`` wave the two move-and-forget coin arrays, all scattered
         to shards as contiguous slices.
+
+        With a profiler attached the round is decomposed into ``flush``
+        (outbox flush + owner partition), ``exchange`` (wire-chunk
+        transpose + canonical inbox build), ``rng`` (coordinator draws),
+        ``dispatch`` (kernel execution on the shards, including the
+        reslrl pause-point round-trips), and ``merge`` (report folding) —
+        the attribution ``repro obs phases`` reports.
         """
         self._view = None
         n = self.shards
-        profiler = self._profiler
-        t0 = time.perf_counter() if profiler is not None else 0.0
+        mark = self._phase_marker()
         routed = self._backend.call_all("route_take", [(n,)] * n)
+        if mark is not None:
+            mark("flush")
         incoming = [
             [routed[src][dst] for src in range(n)] for dst in range(n)
         ]
@@ -283,6 +305,8 @@ class ShardedEngine:
         nonres = [p[1] for p in prep]
         res = [p[2] for p in prep]
         total = sum(nonres) + sum(res)
+        if mark is not None:
+            mark("exchange")
         if total:
             packed_ok = all(p[3] for p in prep)
             keys = draw_delivery_keys(rng, total, packed_ok=packed_ok)
@@ -296,9 +320,9 @@ class ShardedEngine:
         else:
             empty = np.empty(0, dtype=np.int64)
             argses = [(empty,) for _ in range(n)]
+        if mark is not None:
+            mark("rng")
         rank_lists = self._backend.call_all("start_round", argses)
-        if profiler is not None:
-            profiler.add("flush", time.perf_counter() - t0)
         if self._maf:
             pause_ranks: set[int] = set()
             for ranks in rank_lists:
@@ -307,6 +331,8 @@ class ShardedEngine:
                 counts = self._backend.call_all(
                     "reslrl_count", [(rank,)] * n
                 )
+                if mark is not None:
+                    mark("dispatch")
                 k_total = sum(count for _, count in counts)
                 if k_total:
                     coins = rng.random(k_total)  # repro-flow: ignore[flow-branch-rng] mirrors move_forget's all-invalid early return: the single-process kernel draws nothing for an empty validated batch, so skipping the zero-count draw keeps the streams aligned
@@ -324,21 +350,33 @@ class ShardedEngine:
                         )
                     )
                     offset += count
+                if mark is not None:
+                    mark("rng")
                 self._backend.call_all("reslrl_apply", apply_args)
         finished = self._backend.call_all("finish_round", [()] * n)
+        if mark is not None:
+            mark("dispatch")
+        sink = self._shard_sink
         totals = [0] * N_TYPES
         pending = 0
         live = 0
-        for report in finished:
+        for shard, report in enumerate(finished):
             for code, count in enumerate(report["counts"]):
                 totals[code] += count
             pending += report["pending"]
             live += report["n_live"]
+            if sink is not None:
+                telemetry = report.get("telemetry")
+                if telemetry is not None:
+                    sink.fold(shard, telemetry)
+                sink.live_nodes(shard, report["n_live"])
         for code, count in enumerate(totals):
             if count:
                 self.stats.record_sends(TYPE_OF_CODE[code], count)
         self._pending = pending
         self._n_live = live
+        if mark is not None:
+            mark("merge")
 
     # ------------------------------------------------------------------
     # Membership / churn (round boundaries only)
@@ -441,12 +479,32 @@ class ShardedEngine:
 
     @property
     def profiler(self) -> "PhaseProfiler | None":
+        """The coordinator's round-phase profiler (obs-installed)."""
         return self._profiler
 
     @profiler.setter
     def profiler(self, value: "PhaseProfiler | None") -> None:
         self._profiler = value
-        self._backend.set_profiler(value)
+
+    @property
+    def shard_sink(self) -> Any:
+        """Per-shard telemetry sink (:class:`repro.obs.shard
+        .ShardTelemetrySink` or ``None``).
+
+        Setting a sink switches every shard core — in-process or in a
+        worker process — onto the telemetry-capturing path via the same
+        RPC surface the round phases use; setting ``None`` switches them
+        back to the untimed path the obs-disabled overhead gate measures.
+        The engine never imports ``repro.obs``: the sink is duck-typed
+        (``fold``/``live_nodes``), keeping the disabled path import-free.
+        """
+        return self._shard_sink
+
+    @shard_sink.setter
+    def shard_sink(self, value: Any) -> None:
+        self._shard_sink = value
+        enable = value is not None
+        self._backend.call_all("set_telemetry", [(enable,)] * self.shards)
 
     @property
     def sanitizer(self) -> None:

@@ -1,0 +1,30 @@
+"""Blocking I/O in the wave loop (linted under a ``sim/fast`` path).
+
+Only fires when lint_source is handed a ``src/repro/sim/fast/...`` path;
+under its real fixtures path the rule's scope filter keeps it silent.
+"""
+
+import time
+
+
+def dispatch_wave(groups, conn, debug_log):
+    for code, rows in groups:
+        print("dispatching", code, len(rows))  # EXPECT obs-blocking-in-wave
+        run_kernel(code, rows)
+    with open(debug_log, "a") as handle:  # EXPECT obs-blocking-in-wave
+        handle.write("round done\n")
+    time.sleep(0.01)  # EXPECT obs-blocking-in-wave
+    return conn.recv()  # EXPECT obs-blocking-in-wave
+
+
+def dispatch_wave_clean(groups, out, profiler):
+    # The message bus and in-memory telemetry stay silent: send/write/
+    # flush attribute names are the bus idiom, not blocking I/O.
+    for code, rows in groups:
+        out.send(code, rows, origin=rows)
+        profiler.add("kernel", 0.0, calls=len(rows))
+    out.flush()
+
+
+def run_kernel(code, rows):
+    return code, rows

@@ -336,3 +336,35 @@ def test_scalar_loop_over_soa_is_path_gated():
     # reference-engine code are allowed to iterate.
     findings = lint_fixture("bad_scalar_loop.py")
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# obs-blocking-in-wave (advisory; path-gated to repro/sim/fast with the
+# shard pipe transport exempt — ISSUE 9's never-block telemetry contract)
+# ----------------------------------------------------------------------
+def test_obs_blocking_in_wave_fires_under_fast_path():
+    source = (FIXTURES / "bad_obs_blocking.py").read_text(encoding="utf-8")
+    findings = lint_source("src/repro/sim/fast/snippet.py", source)
+    assert fired(findings) == {"obs-blocking-in-wave"}
+    assert len(findings) == 4  # print, open, time.sleep, conn.recv
+    assert all(f.severity is Severity.WARNING for f in findings)
+    messages = " ".join(f.message for f in findings)
+    for label in ("print()", "open()", "time.sleep()", "conn.recv()"):
+        assert label in messages
+    # The message-bus twin (out.send / profiler.add / out.flush) is clean.
+    assert all(f.line < 20 for f in findings)
+
+
+def test_obs_blocking_in_wave_scope_and_exemptions():
+    # Outside repro/sim/fast the rule never applies (harness/exporter
+    # code is allowed to do real I/O).
+    assert lint_fixture("bad_obs_blocking.py") == []
+    # shard/workers.py is the pipe transport: send/recv IS its job.
+    transport = "def drain(conn):\n    return conn.recv()\n"
+    assert lint_source("src/repro/sim/fast/shard/workers.py", transport) == []
+    # The pragma names the rule and suppresses it like any other.
+    pragma = (
+        "def f():\n"
+        "    print('x')  # repro-lint: ignore[obs-blocking-in-wave] demo\n"
+    )
+    assert lint_source("src/repro/sim/fast/s.py", pragma) == []

@@ -59,9 +59,12 @@ def fast_run(seed: int, observed: bool, mode: str):
     """Fixed-seed fast-engine run; returns (snapshot, stats, rng state)."""
     rng = np.random.default_rng(seed)
     states = TOPOLOGIES["random_tree"](N, rng)
+    kwargs = {"shards": 3, "workers": 0} if mode == "sharded" else {}
 
     def body():
-        sim = FastSimulator.from_states(states, ProtocolConfig(), mode=mode, rng=rng)
+        sim = FastSimulator.from_states(
+            states, ProtocolConfig(), mode=mode, rng=rng, **kwargs
+        )
         sim.run(ROUNDS)
         return sim
 
@@ -70,7 +73,15 @@ def fast_run(seed: int, observed: bool, mode: str):
             sim = body()
     else:
         sim = body()
-    return sim.state_snapshot(), sim.engine.stats.totals_by_type, rng.bit_generator.state
+    try:
+        return (
+            sim.state_snapshot(),
+            sim.engine.stats.totals_by_type,
+            rng.bit_generator.state,
+        )
+    finally:
+        if mode == "sharded":
+            sim.engine.close()
 
 
 class TestObserverDoesNotPerturb:
@@ -82,7 +93,7 @@ class TestObserverDoesNotPerturb:
         assert plain[1] == observed[1]  # per-type message census
         assert plain[2] == observed[2]  # RNG stream position
 
-    @pytest.mark.parametrize("mode", ["batched", "mirror"])
+    @pytest.mark.parametrize("mode", ["batched", "mirror", "sharded"])
     @pytest.mark.parametrize("seed", [0, 7])
     def test_fast_engines_bit_identical(self, mode, seed):
         plain = fast_run(seed, observed=False, mode=mode)
