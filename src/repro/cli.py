@@ -11,6 +11,7 @@ Examples::
                                       # + live /metrics + /health endpoint
     repro obs summarize runs/e18      # inspect the artifacts afterwards
     repro obs phases runs/e22         # round-phase wall-clock attribution
+    repro serve n=4096 api=:8080      # serve greedy-routing lookups live
 
 Parameter values are parsed as Python literals where possible (ints,
 floats, tuples via comma lists), so every driver keyword can be set from
@@ -146,14 +147,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="inspect run telemetry (summarize / tail / validate)",
         add_help=False,
     )
-    # ``repro obs`` owns its own argv tail so its flags (-n, --follow)
-    # never collide with the top-level parser.
+    sub.add_parser(
+        "serve",
+        help="serve greedy-routing lookups off a converging overlay",
+        add_help=False,
+    )
+    # ``repro obs`` / ``repro serve`` own their own argv tails so their
+    # flags and key=value parameters never collide with this parser.
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
         from repro.obs.cli import main as obs_main
 
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(list(argv[1:]))
     args = parser.parse_args(argv)
 
     if args.command == "list":

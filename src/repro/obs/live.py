@@ -43,10 +43,28 @@ from repro.obs.exporters import prometheus_text
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import Observer
 
-__all__ = ["LiveServer", "LiveStatus", "parse_address"]
+__all__ = ["LiveServer", "LiveStatus", "parse_address", "render_metrics"]
 
 #: How many /metrics render attempts before giving up on a scrape.
 _RENDER_RETRIES = 5
+
+
+def render_metrics(observer: "Observer") -> str | None:
+    """Render *observer*'s registry as Prometheus text, retry-bounded.
+
+    A concurrent round may grow a registry dict mid-iteration, which
+    surfaces as ``RuntimeError``; scrapes are best-effort snapshots by
+    design, so the render is simply retried up to ``_RENDER_RETRIES``
+    times and ``None`` is returned when every attempt lost the race.
+    Shared by the live endpoint below and by the ``repro.serve``
+    front-end, so both expose the exact same exposition bytes.
+    """
+    for _ in range(_RENDER_RETRIES):
+        try:
+            return prometheus_text(observer.registry)
+        except RuntimeError:
+            time.sleep(0.005)
+    return None
 
 #: Sentinel link values (mirrors :mod:`repro.ids`, kept inline so this
 #: module stays importable without the package's numeric core).
@@ -277,19 +295,11 @@ class _Handler(BaseHTTPRequestHandler):
         if observer is None:  # pragma: no cover - defensive
             self._reply(503, "text/plain; charset=utf-8", "no observer\n")
             return
-        for _ in range(_RENDER_RETRIES):
-            try:
-                text = prometheus_text(observer.registry)
-            except RuntimeError:
-                # A concurrent round grew a registry dict mid-iteration;
-                # the next snapshot attempt will see a consistent view.
-                time.sleep(0.005)
-                continue
-            self._reply(
-                200, "text/plain; version=0.0.4; charset=utf-8", text
-            )
+        text = render_metrics(observer)
+        if text is None:
+            self._reply(503, "text/plain; charset=utf-8", "scrape retry exhausted\n")
             return
-        self._reply(503, "text/plain; charset=utf-8", "scrape retry exhausted\n")
+        self._reply(200, "text/plain; version=0.0.4; charset=utf-8", text)
 
     def _reply(self, code: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
@@ -314,6 +324,15 @@ class LiveServer:
     joins the thread.  The bound address is available as :attr:`address`
     the moment ``start()`` returns, which is what ``DIR/live.json``
     records for scrapers when ``live=:0`` asked for an ephemeral port.
+
+    The lifecycle is reusable and embedder-friendly (``repro.serve``
+    runs one of these next to its request front-end, with no ``repro
+    run`` teardown in sight): ``start()`` after ``stop()`` re-binds —
+    an ephemeral ``:0`` request resolves to a *fresh* kernel-assigned
+    port each time — ``stop()`` is idempotent, ``start()`` on a running
+    server is a no-op, and a bind failure (port already in use)
+    surfaces as :class:`OSError` naming the requested address instead
+    of a half-started server.
     """
 
     def __init__(
@@ -325,15 +344,30 @@ class LiveServer:
     ) -> None:
         self.observer = observer
         self.host, self.port = parse_address(address)
+        #: The port as *requested* (0 = ephemeral); ``start()`` always
+        #: re-resolves from this, so stop/start cycles on ``:0`` never
+        #: fight over a previously assigned port.
+        self._requested_port = self.port
         self.status = status if status is not None else LiveStatus()
         self._httpd: _LiveHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
+    @property
+    def running(self) -> bool:
+        """Whether the server currently holds a bound, serving socket."""
+        return self._httpd is not None
+
     def start(self) -> "LiveServer":
-        """Bind and serve in the background; returns self."""
+        """Bind and serve in the background; returns self (idempotent)."""
         if self._httpd is not None:
             return self
-        httpd = _LiveHTTPServer((self.host, self.port), _Handler)
+        try:
+            httpd = _LiveHTTPServer((self.host, self._requested_port), _Handler)
+        except OSError as exc:
+            raise OSError(
+                f"live endpoint could not bind "
+                f"{self.host}:{self._requested_port}: {exc}"
+            ) from exc
         httpd.observer = self.observer
         httpd.status = self.status
         self.port = int(httpd.server_address[1])

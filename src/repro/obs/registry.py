@@ -168,6 +168,42 @@ class Histogram(_Instrument):
             counts[-1] += 1
         self._series[key] = (counts, total + float(value), count + 1)
 
+    def observe_bulk(
+        self,
+        bucket_counts: Sequence[int],
+        total: float,
+        count: int,
+        **labels: object,
+    ) -> None:
+        """Fold pre-bucketed observations into the labeled series.
+
+        *bucket_counts* must hold ``len(bounds) + 1`` entries (the last
+        one is the +Inf bucket), *total* the sum and *count* the number
+        of the folded observations.  This is the bulk twin of
+        :meth:`observe` for callers that aggregate with ndarray math —
+        the serving layer records 10^6 hop counts per run in O(buckets)
+        registry work instead of one Python call per observation.
+        """
+        if len(bucket_counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name} expects {len(self.bounds) + 1} "
+                f"bucket counts, got {len(bucket_counts)}"
+            )
+        if count < 0 or sum(bucket_counts) != count:
+            raise ValueError(
+                f"histogram {self.name}: bucket counts must sum to count"
+            )
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = ([0] * (len(self.bounds) + 1), 0.0, 0)
+        counts, running_total, running_count = series
+        for i, extra in enumerate(bucket_counts):
+            counts[i] += int(extra)
+        self._series[key] = (
+            counts, running_total + float(total), running_count + int(count)
+        )
+
     def snapshot(self, **labels: object) -> dict[str, object] | None:
         """``{"count", "sum", "buckets"}`` of one series, or ``None``."""
         series = self._series.get(_label_key(labels))

@@ -1,0 +1,153 @@
+"""SLO accounting for the serving layer: the Lemma 4.23 bound + summaries.
+
+Lemma 4.23 is the paper's payoff for serving: on the converged
+small-world overlay a greedy ``probr``/``probl`` lookup covering
+distance *d* takes O(ln^(2+ε) d) hops in expectation.  The serving
+stack turns that into an operational SLO:
+
+* :func:`hop_bound` — the concrete bound ``c · max(1, ln d)^(2+ε)``
+  with the repo's pinned constants; the SLO gate requires the measured
+  **p99** hop count of converged-phase traffic to sit under
+  ``hop_bound(n)`` (every query distance satisfies ``d < n``, so this
+  is the uniform worst case).
+* :func:`build_slo_summary` / :func:`validate_slo_summary` — the
+  ``repro.serve/slo/v1`` document the load harness emits and CI
+  asserts.  A summary is a list of *phases* ("converged", "storm", ...)
+  each carrying lookup counts, hop and latency percentiles, and
+  throughput; validation checks structure, internal consistency
+  (percentile ordering, outcome counts adding up) and that the
+  converged phase honors the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "HOP_BOUND_C",
+    "HOP_BOUND_EPS",
+    "SLO_SCHEMA",
+    "build_slo_summary",
+    "hop_bound",
+    "validate_slo_summary",
+]
+
+#: Schema tag stamped on every SLO summary document.
+SLO_SCHEMA = "repro.serve/slo/v1"
+
+#: Pinned constants of the operational Lemma 4.23 bound.  ε matches the
+#: protocol's default long-range sampling exponent; c = 4 is deliberately
+#: tight — the converged harmonic overlay measures well under it while a
+#: ring without working long-range links (Θ(d) hops) fails by orders of
+#: magnitude at bench scale.
+HOP_BOUND_C = 4.0
+HOP_BOUND_EPS = 0.1
+
+#: Numeric fields every phase row must carry.
+_PHASE_FIELDS = (
+    "lookups",
+    "ok",
+    "lost",
+    "unknown",
+    "p50_hops",
+    "p99_hops",
+    "p50_latency_s",
+    "p99_latency_s",
+    "duration_s",
+    "throughput_lps",
+    "rounds",
+    "hop_bound",
+)
+
+
+def hop_bound(distance: float, *, c: float = HOP_BOUND_C, eps: float = HOP_BOUND_EPS) -> float:
+    """The Lemma 4.23 hop budget for a lookup covering *distance* ranks."""
+    if distance < 1:
+        return c
+    return c * max(1.0, math.log(distance)) ** (2.0 + eps)
+
+
+def build_slo_summary(
+    *,
+    n: int,
+    engine: str,
+    zipf_s: float,
+    storm: str | None,
+    phases: Sequence[dict[str, object]],
+) -> dict[str, object]:
+    """Assemble the ``repro.serve/slo/v1`` document from phase rows.
+
+    Each phase row is a :meth:`repro.serve.load.LoadReport.row` dict;
+    the bound column (``hop_bound``, worst-case distance *n*) and its
+    verdict (``bound_ok``) are stamped here so every consumer applies
+    the identical bound.
+    """
+    bound = hop_bound(n)
+    stamped = []
+    for phase in phases:
+        row = dict(phase)
+        row["hop_bound"] = round(bound, 3)
+        row["bound_ok"] = bool(float(row.get("p99_hops", math.inf)) <= bound)
+        stamped.append(row)
+    return {
+        "schema": SLO_SCHEMA,
+        "n": n,
+        "engine": engine,
+        "zipf_s": zipf_s,
+        "storm": storm,
+        "phases": stamped,
+    }
+
+
+def validate_slo_summary(doc: object) -> list[str]:
+    """Structural + consistency check; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["summary must be a JSON object"]
+    if doc.get("schema") != SLO_SCHEMA:
+        problems.append(f"schema must be {SLO_SCHEMA!r}, got {doc.get('schema')!r}")
+    n = doc.get("n")
+    if not isinstance(n, int) or n < 1:
+        problems.append("n must be a positive integer")
+    if not isinstance(doc.get("engine"), str) or not doc.get("engine"):
+        problems.append("engine must be a non-empty string")
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        return [*problems, "phases must be a non-empty list"]
+    saw_converged = False
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            problems.append(f"phases[{i}] must be an object")
+            continue
+        name = phase.get("phase")
+        if not isinstance(name, str) or not name:
+            problems.append(f"phases[{i}].phase must be a non-empty string")
+            name = ""
+        if name == "converged":
+            saw_converged = True
+        before = len(problems)
+        for field in _PHASE_FIELDS:
+            value = phase.get(field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                problems.append(f"phases[{i}].{field} must be a number")
+        if len(problems) > before:
+            continue
+        if phase["lookups"] < 1:
+            problems.append(f"phases[{i}]: no lookups recorded")
+        if phase["ok"] + phase["lost"] + phase["unknown"] != phase["lookups"]:
+            problems.append(f"phases[{i}]: outcome counts do not sum to lookups")
+        if phase["p50_hops"] > phase["p99_hops"]:
+            problems.append(f"phases[{i}]: p50_hops exceeds p99_hops")
+        if phase["p50_latency_s"] > phase["p99_latency_s"]:
+            problems.append(f"phases[{i}]: p50_latency_s exceeds p99_latency_s")
+        if not isinstance(phase.get("bound_ok"), bool):
+            problems.append(f"phases[{i}].bound_ok must be a boolean")
+        elif name == "converged" and not phase["bound_ok"]:
+            problems.append(
+                f"phases[{i}]: converged p99_hops {phase['p99_hops']} "
+                f"violates the Lemma 4.23 bound {phase['hop_bound']}"
+            )
+    if not saw_converged:
+        problems.append("summary must include a 'converged' phase")
+    return problems

@@ -130,6 +130,47 @@ class TestLiveServer:
         finally:
             server.stop()
 
+    def test_restart_rebinds_fresh_ephemeral_port(self):
+        server = LiveServer(Observer(), ":0")
+        server.start()
+        assert server.running
+        server.stop()
+        assert not server.running
+        # Restart re-resolves the *requested* port (0), not the stale bind.
+        server.start()
+        try:
+            assert server.running and server.port != 0
+            code, _ = _get(server.url + "/health")
+            assert code == 200
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_even_before_start(self):
+        server = LiveServer(Observer(), ":0")
+        server.stop()  # never started: no-op
+        server.start()
+        server.stop()
+        server.stop()
+        assert not server.running
+
+    def test_port_in_use_raises_descriptive_oserror(self):
+        first = LiveServer(Observer(), ":0").start()
+        try:
+            clash = LiveServer(Observer(), f"127.0.0.1:{first.port}")
+            with pytest.raises(OSError, match="could not bind"):
+                clash.start()
+            assert not clash.running
+        finally:
+            first.stop()
+
+    def test_render_metrics_module_hook(self):
+        from repro.obs.live import render_metrics
+
+        observer = Observer()
+        observer.registry.counter("probe_total", "x").inc(2)
+        text = render_metrics(observer)
+        assert text is not None and "repro_probe_total" in text
+
 
 # ----------------------------------------------------------------------
 # LiveStatus: probes, throttling, rates
